@@ -1,0 +1,27 @@
+# Developer convenience targets. See CONTRIBUTING.md.
+
+PYTHON ?= python3
+
+.PHONY: install test bench report examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report: bench
+	$(PYTHON) -m repro report --output-dir benchmarks/output --out REPORT.md
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; \
+		$(PYTHON) $$ex > /dev/null || exit 1; \
+	done; echo "all examples OK"
+
+clean:
+	rm -rf .pytest_cache benchmarks/output REPORT.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

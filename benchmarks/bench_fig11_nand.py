@@ -1,0 +1,97 @@
+"""R-F11 (extension): NOR vs NAND FeFET TCAM -- energy/delay vs word width.
+
+Regenerates the architecture-comparison figure the NAND extension adds:
+per-search energy (NAND wins on miss-dominated traffic because broken
+strings pay nothing) and match-path delay (NAND loses quadratically with
+word length) across word widths.  The crossover justifies the standard
+guidance: NAND for short/segmented words, NOR elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import build_array, get_design
+from repro.reporting.series import FigureSeries
+from repro.tcam import ArrayGeometry, NANDTCAMArray, random_word
+
+EXPERIMENT_ID = "R-F11_nand"
+WIDTHS = (8, 16, 32, 64, 128)
+ROWS = 32
+N_SEARCHES = 4
+
+
+def measure(width: int) -> tuple[float, float, float, float]:
+    """(E_nor, E_nand, t_nor, t_nand) at one word width."""
+    rng = np.random.default_rng(110 + width)
+    geo = ArrayGeometry(ROWS, width)
+    words = [random_word(width, rng) for _ in range(ROWS)]
+    keys = [random_word(width, rng) for _ in range(N_SEARCHES)]
+
+    nor = build_array(get_design("fefet2t"), geo)
+    nor.load(words)
+    nand = NANDTCAMArray(geo)
+    nand.load(words)
+
+    e_nor = e_nand = 0.0
+    t_nor = t_nand = 0.0
+    for key in keys:
+        o1 = nor.search(key)
+        o2 = nand.search(key)
+        assert o1.functional_errors == 0 and o2.functional_errors == 0
+        e_nor += o1.energy_total
+        e_nand += o2.energy_total
+        t_nor = max(t_nor, o1.search_delay)
+        t_nand = max(t_nand, o2.search_delay)
+    return e_nor / N_SEARCHES, e_nand / N_SEARCHES, t_nor, t_nand
+
+
+def build_figures() -> tuple[FigureSeries, FigureSeries]:
+    energy_fig = FigureSeries(
+        title="R-F11a: search energy, NOR vs NAND (32 rows, miss-dominated)",
+        x_label="word width [trits]",
+        y_label="energy [J/search]",
+        x=[float(w) for w in WIDTHS],
+        y_unit="J",
+    )
+    delay_fig = FigureSeries(
+        title="R-F11b: search delay, NOR vs NAND",
+        x_label="word width [trits]",
+        y_label="delay [s]",
+        x=[float(w) for w in WIDTHS],
+        y_unit="s",
+    )
+    e_nor, e_nand, t_nor, t_nand = [], [], [], []
+    for width in WIDTHS:
+        a, b, c, d = measure(width)
+        e_nor.append(a)
+        e_nand.append(b)
+        t_nor.append(c)
+        t_nand.append(d)
+    energy_fig.add_series("nor_fefet2t", e_nor)
+    energy_fig.add_series("nand_fefet", e_nand)
+    delay_fig.add_series("nor_fefet2t", t_nor)
+    delay_fig.add_series("nand_fefet", t_nand)
+    return energy_fig, delay_fig
+
+
+def test_fig11_nand(benchmark, save_artifact):
+    energy_fig, delay_fig = build_figures()
+    save_artifact(EXPERIMENT_ID, energy_fig.to_text() + "\n\n" + delay_fig.to_text())
+
+    e_nor = energy_fig.series("nor_fefet2t")
+    e_nand = energy_fig.series("nand_fefet")
+    t_nor = delay_fig.series("nor_fefet2t")
+    t_nand = delay_fig.series("nand_fefet")
+    # NAND wins energy at every width on miss-dominated traffic (>= 2x at 64).
+    assert all(n < r for n, r in zip(e_nand, e_nor))
+    i64 = list(WIDTHS).index(64)
+    assert e_nor[i64] / e_nand[i64] > 2.0
+    # NAND delay overtakes NOR as words widen and ends clearly slower.
+    assert t_nand[-1] > 2.0 * t_nor[-1]
+    # NAND delay grows superlinearly (quadratic ladder term).
+    growth_nand = t_nand[-1] / t_nand[0]
+    growth_nor = t_nor[-1] / t_nor[0]
+    assert growth_nand > growth_nor
+
+    benchmark(lambda: measure(64))

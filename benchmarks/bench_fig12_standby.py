@@ -1,0 +1,73 @@
+"""R-F12 (extension): amortized energy per search vs search rate.
+
+Regenerates the duty-cycle figure behind the non-volatility story: a
+4-bank chip searched at rates from 1 kHz to 100 MHz.  The CMOS chip pays
+SRAM retention leakage across every idle interval; the FeFET chip with
+idle-bank power gating pays (almost) nothing when idle and a one-off
+wake when a cold bank is touched.  At low search rates the gap opens by
+orders of magnitude; at wire speed the designs converge to their dynamic
+search energies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import build_array, get_design
+from repro.reporting.series import FigureSeries
+from repro.tcam import ArrayGeometry, random_word
+from repro.tcam.chip import GatingPolicy, TCAMChip
+
+EXPERIMENT_ID = "R-F12_standby"
+GEO = ArrayGeometry(rows=32, cols=64)
+RATES = (1e3, 1e4, 1e5, 1e6, 1e7, 1e8)
+N_BANKS = 4
+
+
+def _chip(design: str, gated: bool) -> TCAMChip:
+    policy = GatingPolicy(gate_idle_banks=gated)
+    chip = TCAMChip(lambda: build_array(get_design(design), GEO), N_BANKS, policy)
+    rng = np.random.default_rng(121)
+    chip.load([random_word(GEO.cols, rng, x_fraction=0.3) for _ in range(GEO.rows)])
+    chip.search(random_word(GEO.cols, rng), bank=0)  # settle the gating state
+    return chip
+
+
+def build_figure() -> FigureSeries:
+    fig = FigureSeries(
+        title="R-F12: amortized energy per search vs search rate (4 banks, 32x64)",
+        x_label="searches per second",
+        y_label="energy [J/search]",
+        x=[float(r) for r in RATES],
+        y_unit="J",
+    )
+    configs = (
+        ("cmos16t_always_on", "cmos16t", False),
+        ("fefet2t_always_on", "fefet2t", False),
+        ("fefet2t_gated", "fefet2t", True),
+    )
+    for label, design, gated in configs:
+        chip = _chip(design, gated)
+        fig.add_series(label, [chip.energy_per_search_at_rate(r) for r in RATES])
+    return fig
+
+
+def test_fig12_standby(benchmark, save_artifact):
+    fig = build_figure()
+    save_artifact(EXPERIMENT_ID, fig.to_text())
+
+    cmos = fig.series("cmos16t_always_on")
+    fefet = fig.series("fefet2t_always_on")
+    gated = fig.series("fefet2t_gated")
+    # At 1 kHz the gated FeFET chip wins by >= 3x over always-on CMOS.
+    assert cmos[0] / gated[0] > 3.0
+    # Gating beats always-on FeFET at every rate (never hurts, helps when idle).
+    assert all(g <= f * 1.01 for g, f in zip(gated, fefet))
+    # At 100 MHz all chips converge to dynamic energy (standby negligible):
+    # gated and ungated FeFET within 5%.
+    assert abs(gated[-1] - fefet[-1]) / fefet[-1] < 0.05
+    # Energy per search decreases monotonically with rate for leaky chips.
+    assert all(b <= a for a, b in zip(cmos, cmos[1:]))
+
+    chip = _chip("fefet2t", True)
+    benchmark(lambda: chip.energy_per_search_at_rate(1e6))

@@ -1,0 +1,71 @@
+"""R-F13 (extension): write-disturb accumulation, V/2 vs V/3 biasing.
+
+Regenerates the disturb figure: a stored-LVT victim's retention (and the
+resulting threshold shift) against accumulated neighbour-write disturb
+pulses under the two standard biasing schemes.  The expected shape: the
+half-select scheme depolarizes the victim within tens-to-thousands of
+writes, while the third-select scheme holds past 10^8 -- which is why
+FeFET arrays use V/3-style biasing despite its driver overhead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.disturb import V_HALF, V_THIRD, DisturbAnalysis
+from repro.reporting.series import FigureSeries
+from repro.tcam.cells.fefet2t import default_fefet_cell_params
+
+EXPERIMENT_ID = "R-F13_disturb"
+PULSE_COUNTS = [0, 10, 10**2, 10**3, 10**4, 10**5, 10**6, 10**7, 10**8]
+
+
+def build_figure() -> tuple[FigureSeries, FigureSeries, dict]:
+    params = default_fefet_cell_params()
+    retention = FigureSeries(
+        title="R-F13a: victim retention vs accumulated disturb pulses",
+        x_label="disturb pulses",
+        y_label="retention fraction",
+        x=[float(n) for n in PULSE_COUNTS],
+    )
+    shift = FigureSeries(
+        title="R-F13b: victim VT shift vs accumulated disturb pulses",
+        x_label="disturb pulses",
+        y_label="VT shift [V]",
+        x=[float(n) for n in PULSE_COUNTS],
+    )
+    analyses = {}
+    for scheme in (V_HALF, V_THIRD):
+        analysis = DisturbAnalysis(params, scheme)
+        analyses[scheme.name] = analysis
+        points = analysis.trajectory(PULSE_COUNTS)
+        retention.add_series(scheme.name, [round(p.retention_fraction, 4) for p in points])
+        shift.add_series(scheme.name, [round(p.vt_shift, 4) for p in points])
+    return retention, shift, analyses
+
+
+def test_fig13_disturb(benchmark, save_artifact):
+    retention, shift, analyses = build_figure()
+    n_half = analyses["V/2"].pulses_to_vt_shift(0.1)
+    n_third = analyses["V/3"].pulses_to_vt_shift(0.1, n_max=10**9)
+    footer = (
+        f"pulses to a 100 mV victim VT shift: V/2 = {n_half}, "
+        f"V/3 = {'>' + '1e9' if n_third is None else n_third}"
+    )
+    save_artifact(
+        EXPERIMENT_ID, retention.to_text() + "\n\n" + shift.to_text() + "\n\n" + footer
+    )
+
+    half = retention.series("V/2")
+    third = retention.series("V/3")
+    # V/2 loses >10% retention within 1e4 pulses; V/3 holds >98% at 1e8.
+    i4 = PULSE_COUNTS.index(10**4)
+    assert half[i4] < 0.9
+    assert third[-1] > 0.98
+    # Retention decays monotonically for both schemes.
+    for series in (half, third):
+        assert all(b <= a + 1e-12 for a, b in zip(series, series[1:]))
+    # The disturb-immunity gap: V/3 survives >= 1e5x more pulses than V/2.
+    assert n_half is not None
+    assert n_third is None or n_third > 1e5 * n_half
+
+    analysis = analyses["V/2"]
+    benchmark(lambda: analysis.point(10**6))

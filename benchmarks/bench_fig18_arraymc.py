@@ -1,0 +1,89 @@
+"""R-F18 (extension): measured vs margin-predicted failure rates.
+
+Regenerates the engine-validation figure: the *measured* row-decision
+error rate of a fully sampled FeFET array (per-cell threshold offsets,
+per-row SA offsets, critical-corner workload) against the line-failure
+rate the cheap margin-based Monte-Carlo engine predicts, across variation
+scales.
+
+Expected shape: both engines are clean at the nominal corner, both rise
+monotonically with sigma, and the margin engine stays *conservative*
+(it evaluates worst-case corners the sampled workload only sometimes
+realizes).  The gap at scaled sigma quantifies exactly how much pessimism
+the cheap abstraction buys -- knowledge you only get by building both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.montecarlo import run_margin_mc
+from repro.analysis.montecarlo_array import SampledFeFETArray, critical_keys
+from repro.core import build_array, get_design
+from repro.devices.variability import NOMINAL_VARIATION
+from repro.reporting.series import FigureSeries
+from repro.tcam import ArrayGeometry, random_word
+
+EXPERIMENT_ID = "R-F18_arraymc"
+GEO = ArrayGeometry(rows=16, cols=32)
+SIGMA_SCALES = (1.0, 3.0, 6.0, 10.0)
+N_INSTANCES = 4  # sampled chips per sigma point
+
+
+def measured_rate(scale: float) -> float:
+    rng = np.random.default_rng(181)
+    words = [random_word(GEO.cols, rng, x_fraction=0.2) for _ in range(GEO.rows)]
+    keys = critical_keys(words, rng, per_word=2)
+    spec = NOMINAL_VARIATION.scaled(scale)
+    total_wrong = 0
+    total_decisions = 0
+    for instance in range(N_INSTANCES):
+        array = SampledFeFETArray(GEO, spec, np.random.default_rng(500 + instance))
+        array.load(words)
+        result = array.run_campaign(keys)
+        total_wrong += result.wrong_rows
+        total_decisions += result.n_row_decisions
+    return total_wrong / total_decisions
+
+
+def predicted_rate(scale: float) -> float:
+    array = build_array(get_design("fefet2t"), GEO)
+    mc = run_margin_mc(
+        array, NOMINAL_VARIATION.scaled(scale), n_samples=300, seed=77
+    )
+    return mc.failure_rate
+
+
+def build_figure() -> FigureSeries:
+    fig = FigureSeries(
+        title="R-F18: measured vs margin-predicted failure rate (fefet2t, 16x32)",
+        x_label="sigma scale",
+        y_label="failure rate",
+        x=list(SIGMA_SCALES),
+    )
+    fig.add_series("measured_full_array", [round(measured_rate(s), 5) for s in SIGMA_SCALES])
+    fig.add_series("predicted_margin_mc", [round(predicted_rate(s), 5) for s in SIGMA_SCALES])
+    return fig
+
+
+def test_fig18_arraymc(benchmark, save_artifact):
+    fig = build_figure()
+    save_artifact(EXPERIMENT_ID, fig.to_text())
+
+    measured = fig.series("measured_full_array")
+    predicted = fig.series("predicted_margin_mc")
+    # Both engines clean at the nominal corner.
+    assert measured[0] == 0.0
+    assert predicted[0] == 0.0
+    # Both rise monotonically with sigma (small sampling slack).
+    assert all(b >= a - 0.01 for a, b in zip(measured, measured[1:]))
+    assert all(b >= a - 0.01 for a, b in zip(predicted, predicted[1:]))
+    # The margin engine is conservative wherever failures occur.
+    for m, p in zip(measured, predicted):
+        if m > 0.0 or p > 0.0:
+            assert p >= m, (m, p)
+    # Failures do appear at the largest scale in both engines.
+    assert measured[-1] > 0.0
+    assert predicted[-1] > 0.0
+
+    benchmark(lambda: predicted_rate(6.0))

@@ -1,0 +1,67 @@
+"""R-F2: match-line transient waveforms per design.
+
+Regenerates the waveform figure: ML voltage vs time for a full match, a
+single mismatch and an all-miss word, for each precharge-style design.
+The single-mismatch curve is the sensing-critical one; the gap between it
+and the match curve at the strobe instant is the sense margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.matchline import MatchLine, MatchLineLoad
+from repro.core import build_array, get_design
+from repro.reporting.series import FigureSeries
+from repro.tcam import ArrayGeometry
+
+EXPERIMENT_ID = "R-F2_waveforms"
+GEO = ArrayGeometry(rows=16, cols=64)
+PRECHARGE_DESIGNS = ("cmos16t", "reram2t2r", "fefet2t", "fefet2t_lv")
+
+
+def _line(array, n_miss: int) -> MatchLine:
+    load = MatchLineLoad(
+        capacitance=array.c_ml,
+        n_miss=n_miss,
+        n_match=GEO.cols - n_miss,
+        i_pulldown=array.cell.i_pulldown,
+        i_leak=array.cell.i_leak,
+    )
+    return MatchLine(load, array.precharge.target_voltage(), array.vdd)
+
+
+def build_waveforms(design_name: str) -> FigureSeries:
+    array = build_array(get_design(design_name), GEO)
+    t_grid = np.linspace(0.0, 2.0 * array.t_eval, 33)
+    fig = FigureSeries(
+        title=f"R-F2: ML waveforms, {design_name} (strobe at {array.t_eval:.2e} s)",
+        x_label="t [s]",
+        y_label="V_ML [V]",
+        x=[float(t) for t in t_grid[::4]],
+    )
+    for label, n_miss in (("match", 0), ("1-miss", 1), ("all-miss", GEO.cols)):
+        wf = _line(array, n_miss).waveform(t_grid)
+        fig.add_series(label, [round(float(v), 4) for v in wf[::4]])
+    return fig
+
+
+def test_fig2_waveforms(benchmark, save_artifact):
+    sections = []
+    for name in PRECHARGE_DESIGNS:
+        fig = build_waveforms(name)
+        sections.append(fig.to_text())
+
+        match = fig.series("match")
+        one_miss = fig.series("1-miss")
+        all_miss = fig.series("all-miss")
+        # Shape claims: the match line stays up, misses collapse, and more
+        # misses collapse faster.
+        assert match[-1] > 0.8 * match[0]
+        assert one_miss[-1] < 0.2 * one_miss[0]
+        assert all(a <= o + 1e-9 for a, o in zip(all_miss, one_miss))
+    save_artifact(EXPERIMENT_ID, "\n\n".join(sections))
+
+    array = build_array(get_design("fefet2t"), GEO)
+    t_grid = np.linspace(0.0, 2.0 * array.t_eval, 33)
+    benchmark(lambda: _line(array, 1).waveform(t_grid))

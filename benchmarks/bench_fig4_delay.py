@@ -1,0 +1,74 @@
+"""R-F4: search delay vs array size.
+
+Regenerates the delay-scaling figure along both axes: word width (more ML
+capacitance -> slower discharge) and row count (longer search lines and a
+deeper priority encoder).  FeFET designs stay faster than CMOS because
+the lighter match line discharges sooner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import all_designs, build_array, get_design
+from repro.reporting.series import FigureSeries
+from repro.tcam import ArrayGeometry, random_word
+
+EXPERIMENT_ID = "R-F4_delay"
+WIDTHS = (16, 32, 64, 128, 256)
+ROW_COUNTS = (16, 64, 256, 1024)
+
+
+def delay_for(spec, rows: int, cols: int) -> float:
+    rng = np.random.default_rng(rows * 1000 + cols)
+    array = build_array(spec, ArrayGeometry(rows, cols))
+    # Delay is workload-independent to first order; a thin table suffices.
+    n_load = min(rows, 16)
+    array.load([random_word(cols, rng, x_fraction=0.3) for _ in range(n_load)])
+    return array.search(random_word(cols, rng)).search_delay
+
+
+def build_width_figure() -> FigureSeries:
+    fig = FigureSeries(
+        title="R-F4a: search delay vs word width (64 rows)",
+        x_label="word width [trits]",
+        y_label="delay [s]",
+        x=[float(w) for w in WIDTHS],
+        y_unit="s",
+    )
+    for spec in all_designs():
+        fig.add_series(spec.name, [delay_for(spec, 64, w) for w in WIDTHS])
+    return fig
+
+
+def build_rows_figure() -> FigureSeries:
+    fig = FigureSeries(
+        title="R-F4b: search delay vs row count (64-trit words)",
+        x_label="rows",
+        y_label="delay [s]",
+        x=[float(r) for r in ROW_COUNTS],
+        y_unit="s",
+    )
+    for name in ("cmos16t", "fefet2t", "fefet2t_lv"):
+        spec = get_design(name)
+        fig.add_series(name, [delay_for(spec, r, 64) for r in ROW_COUNTS])
+    return fig
+
+
+def test_fig4_delay(benchmark, save_artifact):
+    by_width = build_width_figure()
+    by_rows = build_rows_figure()
+    save_artifact(EXPERIMENT_ID, by_width.to_text() + "\n\n" + by_rows.to_text())
+
+    # Delay grows monotonically with width for every design.
+    for name in (s.name for s in all_designs()):
+        d = by_width.series(name)
+        assert all(b >= a for a, b in zip(d, d[1:])), name
+    # FeFET faster than CMOS at every width.
+    assert all(f < c for f, c in zip(by_width.series("fefet2t"), by_width.series("cmos16t")))
+    # Row scaling is sublinear (SL RC + log-depth encoder, no ML growth).
+    d_rows = by_rows.series("fefet2t")
+    assert d_rows[-1] < 10.0 * d_rows[0]
+    assert all(b >= a for a, b in zip(d_rows, d_rows[1:]))
+
+    benchmark(lambda: delay_for(get_design("fefet2t"), 64, 64))

@@ -1,0 +1,72 @@
+"""R-F5: energy vs match-line swing with the margin constraint (Design LV).
+
+Regenerates the trade-off figure behind Design LV: per-search energy and
+sense margin as the clamped ML swing sweeps from 0.25 V to the full 0.9 V
+supply, plus the solver's minimum feasible swing for a set of guardbands.
+The energy falls linearly with the swing (clamped restore draws
+``C * V_ML * VDD``) while the margin falls with it -- the knee is where
+the design operates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import get_design, minimum_ml_voltage
+from repro.core.ml_voltage import energy_vs_vml
+from repro.reporting.series import FigureSeries
+from repro.tcam import ArrayGeometry
+
+EXPERIMENT_ID = "R-F5_vml"
+GEO = ArrayGeometry(rows=32, cols=64)
+SWINGS = np.array([0.25, 0.35, 0.45, 0.55, 0.70, 0.90])
+LV = get_design("fefet2t_lv")
+
+
+def build_figure() -> tuple[FigureSeries, FigureSeries, list]:
+    reports = energy_vs_vml(LV, GEO, SWINGS)
+    energy_fig = FigureSeries(
+        title="R-F5a: search energy vs ML swing (Design LV, 32x64)",
+        x_label="V_ML [V]",
+        y_label="energy [J/search]",
+        x=[r.v_ml for r in reports],
+        y_unit="J",
+    )
+    energy_fig.add_series("E_search", [r.energy_per_search for r in reports])
+    margin_fig = FigureSeries(
+        title="R-F5b: sense margin vs ML swing",
+        x_label="V_ML [V]",
+        y_label="margin [V]",
+        x=[r.v_ml for r in reports],
+    )
+    margin_fig.add_series("margin", [round(r.margin, 4) for r in reports])
+    return energy_fig, margin_fig, reports
+
+
+def test_fig5_vml(benchmark, save_artifact):
+    energy_fig, margin_fig, reports = build_figure()
+    floors = [
+        f"minimum V_ML at {g:.0f}-sigma guardband: "
+        f"{minimum_ml_voltage(LV, GEO, guardband_sigmas=g):.3f} V"
+        for g in (10.0, 20.0, 30.0)
+    ]
+    save_artifact(
+        EXPERIMENT_ID,
+        energy_fig.to_text() + "\n\n" + margin_fig.to_text() + "\n\n" + "\n".join(floors),
+    )
+
+    energies = energy_fig.series("E_search")
+    margins = margin_fig.series("margin")
+    # Both monotone in the swing.
+    assert all(b >= a for a, b in zip(energies, energies[1:]))
+    assert all(b >= a for a, b in zip(margins, margins[1:]))
+    # Halving the swing saves >= 25% total search energy (ML share of total).
+    i_half = list(SWINGS).index(0.45)
+    i_full = list(SWINGS).index(0.90)
+    assert energies[i_half] < 0.75 * energies[i_full]
+    # Every swept point remains nominally functional.
+    assert all(r.functional for r in reports)
+
+    from repro.core.ml_voltage import margin_at_vml
+
+    benchmark(lambda: margin_at_vml(LV, GEO, 0.55))

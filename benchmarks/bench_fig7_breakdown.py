@@ -1,0 +1,91 @@
+"""R-F7: per-component energy breakdown.
+
+Regenerates the stacked-bar breakdown: where each design's search energy
+goes (ML precharge, ML dissipation, search lines, sense amps / race
+sources, priority encoder, leakage) on a miss-dominated 64x128 workload.
+The expected shape: ML restore dominates the full-swing designs, Design
+LV cuts exactly that component, and Design CR replaces it with a smaller
+race-source term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import all_designs, build_array
+from repro.energy import EnergyComponent
+from repro.reporting.table import Table
+from repro.tcam import ArrayGeometry, random_word
+from repro.units import eng
+
+EXPERIMENT_ID = "R-F7_breakdown"
+GEO = ArrayGeometry(rows=64, cols=128)
+N_SEARCHES = 5
+
+COMPONENTS = [
+    EnergyComponent.ML_PRECHARGE,
+    EnergyComponent.ML_DISSIPATION,
+    EnergyComponent.RACE_SOURCE,
+    EnergyComponent.SEARCHLINE,
+    EnergyComponent.SENSE_AMP,
+    EnergyComponent.PRIORITY_ENCODER,
+    EnergyComponent.LEAKAGE,
+]
+
+
+def measure_breakdowns() -> dict[str, dict[str, float]]:
+    rng = np.random.default_rng(71)
+    words = [random_word(GEO.cols, rng, x_fraction=0.3) for _ in range(GEO.rows)]
+    keys = [random_word(GEO.cols, rng) for _ in range(N_SEARCHES)]
+    out = {}
+    for spec in all_designs():
+        array = build_array(spec, GEO)
+        array.load(words)
+        from repro.energy import EnergyLedger
+
+        total = EnergyLedger()
+        for key in keys:
+            total.merge(array.search(key).energy)
+        out[spec.name] = {c.value: total.get(c) / N_SEARCHES for c in COMPONENTS}
+    return out
+
+
+def build_table(breakdowns) -> Table:
+    table = Table(
+        title="R-F7: mean per-search energy breakdown (64x128, miss-dominated)",
+        columns=["design"] + [c.value for c in COMPONENTS] + ["total"],
+    )
+    for name, bd in breakdowns.items():
+        total = sum(bd.values())
+        table.add_row(name, *[eng(bd[c.value], "J") for c in COMPONENTS], eng(total, "J"))
+    return table
+
+
+def test_fig7_breakdown(benchmark, save_artifact):
+    breakdowns = measure_breakdowns()
+    save_artifact(EXPERIMENT_ID, build_table(breakdowns).to_ascii())
+
+    def share(name, component):
+        bd = breakdowns[name]
+        return bd[component.value] / sum(bd.values())
+
+    # ML restore dominates the full-swing designs (> 40% of the bill).
+    assert share("cmos16t", EnergyComponent.ML_PRECHARGE) > 0.40
+    assert share("fefet2t", EnergyComponent.ML_PRECHARGE) > 0.35
+    # Design LV cuts the ML restore component by >= 1.6x vs plain FeFET.
+    lv_ml = breakdowns["fefet2t_lv"][EnergyComponent.ML_PRECHARGE.value]
+    fe_ml = breakdowns["fefet2t"][EnergyComponent.ML_PRECHARGE.value]
+    assert fe_ml / lv_ml > 1.6
+    # Design CR books no precharge at all; its race term is smaller than
+    # the full-swing ML term it replaces.
+    cr = breakdowns["fefet_cr"]
+    assert cr[EnergyComponent.ML_PRECHARGE.value] == 0.0
+    assert cr[EnergyComponent.RACE_SOURCE.value] < fe_ml
+
+    rng = np.random.default_rng(5)
+    from repro.core import get_design
+
+    array = build_array(get_design("fefet2t_lv"), GEO)
+    array.load([random_word(GEO.cols, rng, x_fraction=0.3) for _ in range(GEO.rows)])
+    key = random_word(GEO.cols, rng)
+    benchmark(lambda: array.search(key))

@@ -1,0 +1,118 @@
+"""R-T2: technique ablation on the IP-routing workload.
+
+Regenerates the ablation table: search energy with each combination of
+the energy-aware techniques (low-voltage ML, segmentation / selective
+precharge, early termination) on a realistic longest-prefix-match
+workload, normalized to the plain FeFET baseline.  Also cross-checks the
+analytic optimal probe width against simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.segmentation import optimal_probe_width
+from repro.core.selective import TechniqueSet, technique_grid
+from repro.reporting.table import Table
+from repro.tcam import ArrayGeometry
+from repro.tcam.trit import word_from_int
+from repro.units import eng
+from repro.workloads.iproute import synthetic_routing_table, trace_addresses
+
+EXPERIMENT_ID = "R-T2_ablation"
+GEO = ArrayGeometry(rows=64, cols=32)
+N_LOOKUPS = 24
+PROBE = 10  # probes must straddle the specified MSBs of prefix words
+
+
+def _workload():
+    rng = np.random.default_rng(2021)
+    table = synthetic_routing_table(60, rng)
+    keys = [
+        word_from_int(a, 32) for a in trace_addresses(table, N_LOOKUPS, rng, 0.8)
+    ]
+    return table.words(), keys
+
+
+def measure(techniques: TechniqueSet, words, keys) -> tuple[float, float]:
+    built = techniques.build(GEO)
+    built.load(words)
+    energy = 0.0
+    delay = 0.0
+    for key in keys:
+        out = built.search(key)  # flat array and segmented bank share the shape
+        energy += out.energy.total
+        delay = max(delay, out.search_delay)
+    return energy / len(keys), delay
+
+
+def build_table() -> tuple[Table, dict[str, float]]:
+    words, keys = _workload()
+    table = Table(
+        title=f"R-T2: technique ablation, LPM workload ({GEO.rows}x{GEO.cols})",
+        columns=["techniques", "E/search", "norm", "worst delay"],
+    )
+    energies = {}
+    base_energy = None
+    for techniques in technique_grid(probe_cols=PROBE):
+        energy, delay = measure(techniques, words, keys)
+        energies[techniques.label] = energy
+        if base_energy is None:
+            base_energy = energy
+        table.add_row(
+            techniques.label,
+            eng(energy, "J"),
+            f"{energy / base_energy:.2f}x",
+            eng(delay, "s"),
+        )
+    return table, energies
+
+
+def measure_depth_ablation(words, keys) -> dict[str, float]:
+    """ML energy per search for 1/2/3-stage hierarchies (same cell/data)."""
+    from repro.energy import EnergyComponent
+    from repro.tcam.bank import HierarchicalBank
+    from repro.tcam.cells import FeFET2TCell
+
+    energies = {}
+    for label, segments in (("1-stage", [32]), ("2-stage", [10, 22]),
+                            ("3-stage", [6, 8, 18])):
+        bank = HierarchicalBank(FeFET2TCell(), GEO, segments)
+        bank.load(words)
+        total = sum(
+            bank.search(key).energy.get(EnergyComponent.ML_PRECHARGE) for key in keys
+        )
+        energies[label] = total / len(keys)
+    return energies
+
+
+def test_table2_ablation(benchmark, save_artifact):
+    table, energies = build_table()
+    plan = optimal_probe_width(GEO.cols, x_fraction=0.35)
+    words, keys = _workload()
+    depth = measure_depth_ablation(words, keys)
+    footer = (
+        f"analytic optimal probe width (x=0.35): {plan.probe_cols} cols, "
+        f"expected ML-energy ratio {plan.expected_energy_ratio:.2f}\n"
+        "hierarchy-depth ablation (ML energy/search): "
+        + ", ".join(f"{k} {v:.3e} J" for k, v in depth.items())
+    )
+    save_artifact(EXPERIMENT_ID, table.to_ascii() + "\n\n" + footer)
+
+    # Depth ablation: each extra stage buys more ML-energy reduction.
+    assert depth["2-stage"] < depth["1-stage"]
+    assert depth["3-stage"] < depth["2-stage"]
+
+    # Each technique must pay for itself on this workload...
+    assert energies["LV"] < energies["base"]
+    assert energies["SEG"] < energies["base"]
+    # ...and the full stack must be the best configuration by >= 1.8x.
+    assert energies["LV+SEG+ET"] == min(energies.values())
+    assert energies["base"] / energies["LV+SEG+ET"] > 1.8
+    # Early termination can only help segmentation.
+    assert energies["SEG+ET"] <= energies["SEG"] * 1.001
+
+    words, keys = _workload()
+    bank = technique_grid(probe_cols=PROBE)[-1].build(GEO)
+    bank.load(words)
+    benchmark(lambda: bank.search(keys[0]))

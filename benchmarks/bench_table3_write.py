@@ -1,0 +1,83 @@
+"""R-T3: write energy / latency / endurance comparison.
+
+Regenerates the write-path table: per-trit transition cost for each
+technology, the full-table load cost, and the incremental-update cost an
+LPM deployment actually pays.  The expected shape: SRAM writes are cheap
+and fast, ReRAM pays filament current, FeFET pays the erase+program
+pulse pair (slow, moderate energy) but amortizes it over millions of
+cheap searches -- which the break-even row quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import all_designs, build_array, get_design
+from repro.reporting.table import Table
+from repro.tcam import ArrayGeometry, random_word
+from repro.tcam.trit import Trit
+from repro.units import eng
+
+EXPERIMENT_ID = "R-T3_write"
+GEO = ArrayGeometry(rows=64, cols=64)
+
+ENDURANCE = {"cmos16t": 1e16, "reram2t2r": 1e6, "fefet2t": 1e10,
+             "fefet2t_lv": 1e10, "fefet_cr": 1e10, "fefet_nand": 1e10}
+
+
+def build_table() -> tuple[Table, dict]:
+    rng = np.random.default_rng(91)
+    words = [random_word(GEO.cols, rng, x_fraction=0.3) for _ in range(GEO.rows)]
+    table = Table(
+        title="R-T3: write path comparison (64x64 array)",
+        columns=[
+            "design", "E_write [J/trit]", "t_write", "table load [J]",
+            "endurance", "searches per write (energy break-even)",
+        ],
+    )
+    stats = {}
+    for spec in all_designs():
+        array = build_array(spec, GEO)
+        cost = array.cell.write_cost(Trit.ZERO, Trit.ONE)
+        load = array.load(words)
+        search = array.search(random_word(GEO.cols, rng))
+        breakeven = cost.energy * GEO.cols / search.energy_total
+        stats[spec.name] = {
+            "e_trit": cost.energy,
+            "latency": cost.latency,
+            "load": load.total,
+            "breakeven": breakeven,
+        }
+        table.add_row(
+            spec.name,
+            eng(cost.energy, "J"),
+            eng(cost.latency, "s"),
+            eng(load.total, "J"),
+            f"{ENDURANCE[spec.name]:.0e}",
+            f"{breakeven:.2f}",
+        )
+    return table, stats
+
+
+def test_table3_write(benchmark, save_artifact):
+    table, stats = build_table()
+    save_artifact(EXPERIMENT_ID, table.to_ascii())
+
+    # SRAM writes fastest; FeFET writes slowest (program pulses).
+    assert stats["cmos16t"]["latency"] < stats["fefet2t"]["latency"]
+    assert stats["reram2t2r"]["latency"] < stats["fefet2t"]["latency"]
+    # FeFET per-trit write energy exceeds SRAM's but stays under 100x.
+    ratio = stats["fefet2t"]["e_trit"] / stats["cmos16t"]["e_trit"]
+    assert 1.0 < ratio < 100.0
+    # One word's write amortizes within a few searches of the whole array.
+    assert stats["fefet2t"]["breakeven"] < 10.0
+
+    array = build_array(get_design("fefet2t"), GEO)
+    rng = np.random.default_rng(4)
+    word = random_word(GEO.cols, rng)
+    row_counter = iter(range(10**9))
+
+    def write_kernel():
+        array.write(next(row_counter) % GEO.rows, word)
+
+    benchmark(write_kernel)

@@ -1,0 +1,35 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's (reconstructed) tables or
+figures: it prints the artifact, saves it under ``benchmarks/output/`` and
+asserts the shape-level claims recorded in EXPERIMENTS.md, while
+``pytest-benchmark`` times the experiment's representative kernel.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    """Directory artifacts are written into."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(artifact_dir):
+    """Save (and echo) one experiment artifact."""
+
+    def _save(experiment_id: str, text: str) -> pathlib.Path:
+        path = artifact_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{'=' * 70}\n{experiment_id}\n{'=' * 70}\n{text}")
+        return path
+
+    return _save

@@ -1,0 +1,64 @@
+"""Chip-level non-volatile power gating.
+
+Builds a 4-bank TCAM chip in CMOS and FeFET technologies and sweeps the
+search rate: because FeFET banks retain their contents with the supply
+collapsed, idle banks can be gated to zero leakage, which dominates total
+energy whenever the chip is not searched at wire speed.
+
+Run:
+    python examples/chip_power_gating.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ArrayGeometry, build_array, get_design, random_word
+from repro.tcam.chip import GatingPolicy, TCAMChip
+from repro.units import eng
+
+GEO = ArrayGeometry(rows=32, cols=64)
+N_BANKS = 4
+RATES = (1e3, 1e5, 1e7)
+
+
+def make_chip(design: str, gated: bool) -> TCAMChip:
+    """Build, load and settle one chip configuration."""
+    chip = TCAMChip(
+        lambda: build_array(get_design(design), GEO),
+        n_banks=N_BANKS,
+        gating=GatingPolicy(gate_idle_banks=gated),
+    )
+    rng = np.random.default_rng(1)
+    chip.load([random_word(GEO.cols, rng, x_fraction=0.3) for _ in range(GEO.rows)])
+    chip.search(random_word(GEO.cols, rng), bank=0)  # settle the gating state
+    return chip
+
+
+def main() -> None:
+    configs = [
+        ("CMOS, always on", make_chip("cmos16t", gated=False)),
+        ("FeFET, always on", make_chip("fefet2t", gated=False)),
+        ("FeFET, idle banks gated", make_chip("fefet2t", gated=True)),
+    ]
+
+    print(f"4-bank chip, {GEO.rows}x{GEO.cols} per bank")
+    print(f"{'configuration':26s} {'standby':>10s}", end="")
+    for rate in RATES:
+        print(f"  {'E/search@' + eng(rate, 'Hz'):>16s}", end="")
+    print()
+    for label, chip in configs:
+        print(f"{label:26s} {eng(chip.standby_power(), 'W'):>10s}", end="")
+        for rate in RATES:
+            print(f"  {eng(chip.energy_per_search_at_rate(rate), 'J'):>16s}", end="")
+        print()
+
+    print(
+        "\nAt low search rates the CMOS chip's SRAM retention leakage "
+        "dominates the bill; the gated FeFET chip pays only its dynamic "
+        "search energy plus a one-off wake when a cold bank is touched."
+    )
+
+
+if __name__ == "__main__":
+    main()

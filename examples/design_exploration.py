@@ -1,0 +1,58 @@
+"""Energy-aware design exploration: the LV swing solver and the Pareto front.
+
+Shows the two analysis tools behind the paper's proposed designs:
+
+1. ``minimum_ml_voltage`` -- the lowest match-line swing that still meets
+   a sense-margin guardband, i.e. where Design LV is allowed to operate.
+2. ``explore`` -- the energy/delay/margin Pareto front over all designs.
+
+Run:
+    python examples/design_exploration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ArrayGeometry, get_design, minimum_ml_voltage
+from repro.core.dse import explore
+from repro.core.ml_voltage import energy_vs_vml
+from repro.units import eng
+
+GEO = ArrayGeometry(rows=32, cols=64)
+
+
+def main() -> None:
+    lv = get_design("fefet2t_lv")
+
+    # --- Swing sweep ------------------------------------------------------
+    print("Design LV: energy and margin vs match-line swing (32x64 array)")
+    print(f"{'V_ML [V]':>9s} {'margin [V]':>11s} {'E/search':>10s}")
+    for report in energy_vs_vml(lv, GEO, np.array([0.3, 0.45, 0.55, 0.7, 0.9])):
+        print(
+            f"{report.v_ml:>9.2f} {report.margin:>11.3f} "
+            f"{eng(report.energy_per_search, 'J'):>10s}"
+        )
+
+    # --- Margin-constrained floor ------------------------------------------
+    for guardband in (10.0, 20.0, 30.0):
+        v_min = minimum_ml_voltage(lv, GEO, guardband_sigmas=guardband)
+        print(f"minimum V_ML for a {guardband:.0f}-sigma guardband: {v_min:.2f} V")
+
+    # --- Pareto front --------------------------------------------------------
+    print("\nDesign-space exploration (energy vs delay vs margin):")
+    result = explore(GEO, ml_swings=(0.35, 0.45, 0.55, 0.7, 0.9), n_searches=4)
+    front_ids = {id(p) for p in result.front}
+    print(f"{'design':14s} {'V_ML':>5s} {'E/search':>10s} {'delay':>9s} {'margin':>7s}  Pareto")
+    for point in result.points:
+        swing = f"{point.v_ml:.2f}" if point.v_ml is not None else "-"
+        star = "  *" if id(point) in front_ids else ""
+        print(
+            f"{point.design:14s} {swing:>5s} {eng(point.energy_per_search, 'J'):>10s} "
+            f"{eng(point.search_delay, 's'):>9s} {point.margin:>7.3f}{star}"
+        )
+    print(f"\n{len(result.front)}/{len(result.points)} points are Pareto-optimal (*)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Print a "datasheet" for the library's FeFET: the numbers a device
+engineer would ask for before trusting any array-level result.
+
+Covers the quasi-static hysteresis loop, the ID-VG butterfly, write
+dynamics (program/erase/disturb pulses), variability, thermal retention
+and the derived TCAM-relevant figures.
+
+Run:
+    python examples/device_datasheet.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.disturb import V_HALF, V_THIRD, DisturbAnalysis
+from repro.analysis.retention import YEAR_SECONDS, RetentionModel
+from repro.devices import (
+    HZO_10NM,
+    FeFET,
+    FeFETState,
+    SwitchingPulse,
+    loop_coercive_voltage,
+    saturation_loop,
+)
+from repro.devices.variability import NOMINAL_VARIATION, pelgrom_sigma
+from repro.tcam.cells.fefet2t import default_fefet_cell_params
+from repro.units import celsius_to_kelvin, eng
+
+
+def main() -> None:
+    params = default_fefet_cell_params()
+    fefet = FeFET(params)
+
+    print("=== Ferroelectric film (HZO, 10 nm) ===")
+    v, p = saturation_loop(HZO_10NM, 3.0, n_domains=512, rng=np.random.default_rng(1))
+    print(f"remanent polarization  : {HZO_10NM.p_rem * 1e2:.0f} uC/cm^2")
+    print(f"coercive voltage       : {loop_coercive_voltage(v, p):.2f} V "
+          f"(material spec {HZO_10NM.v_coercive:.2f} V)")
+    print(f"domain Ec spread       : {HZO_10NM.ec_sigma_rel:.0%}")
+
+    print("\n=== FeFET transistor ===")
+    print(f"threshold window       : {params.vt_lvt:.2f} V (LVT) .. {params.vt_hvt:.2f} V (HVT)")
+    print(f"on/off ratio @ read    : {fefet.on_off_ratio(1.1, 0.1):.2e}")
+    fefet.force_state(FeFETState.LVT)
+    print(f"read current (LVT)     : {eng(fefet.current(1.1, 0.1), 'A')}")
+    print(f"gate capacitance       : {eng(fefet.gate_capacitance, 'F')}")
+    print(f"drain junction cap     : {eng(fefet.junction_capacitance, 'F')}")
+
+    print("\n=== Write dynamics ===")
+    fresh = FeFET(params)
+    write = fresh.write(FeFETState.LVT)
+    print(f"program pulse          : {params.program_voltage:.1f} V / "
+          f"{eng(params.program_width, 's')}")
+    print(f"write energy           : {eng(write.energy, 'J')}")
+    from repro.devices import PreisachModel
+
+    for label, amplitude in (
+        ("half-select disturb", -params.program_voltage / 2),
+        ("third-select disturb", -params.program_voltage / 3),
+    ):
+        film = PreisachModel(HZO_10NM, n_domains=256, rng=np.random.default_rng(2))
+        film.saturate(1)  # stored-LVT victim
+        expected = film.expected_polarization_after_pulses(
+            SwitchingPulse(amplitude, params.program_width), 1
+        )
+        print(f"{label:22s} : expected polarization after 1 pulse {expected:+.5f}")
+
+    print("\n=== Accumulated disturb (stored-LVT victim) ===")
+    for scheme in (V_HALF, V_THIRD):
+        analysis = DisturbAnalysis(params, scheme)
+        n = analysis.pulses_to_vt_shift(0.1, n_max=10**9)
+        text = "no shift within 1e9 pulses" if n is None else f"{n} pulses to 100 mV shift"
+        print(f"{scheme.name:4s} biasing           : {text}")
+
+    print("\n=== Variability ===")
+    sigma = pelgrom_sigma(2.5e-9, params.width, params.length)
+    print(f"Pelgrom sigma(VT)      : {sigma * 1e3:.0f} mV "
+          f"(corner used in MC: {NOMINAL_VARIATION.sigma_vt_fefet * 1e3:.0f} mV)")
+
+    print("\n=== Retention ===")
+    retention = RetentionModel(HZO_10NM)
+    print(f"activation barrier     : {retention.barrier_scale_ev:.2f} eV (calibrated)")
+    for celsius in (25.0, 85.0, 125.0):
+        fraction = retention.retention_fraction(
+            10 * YEAR_SECONDS, celsius_to_kelvin(celsius)
+        )
+        print(f"retention @10y, {celsius:>5.0f}C : {fraction:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""One-shot learning with a hyperdimensional associative FeFET TCAM.
+
+Reproduces the application that motivated ferroelectric TCAMs: class
+prototypes are bundled hypervectors stored as ternary rows; queries are
+classified by nearest-match (fewest mismatching cells).  Confidence-
+based X-masking is swept to show its energy/accuracy trade.
+
+Run:
+    python examples/hdc_oneshot.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ArrayGeometry, build_array, get_design
+from repro.units import eng
+from repro.workloads.hdc import HDCEncoder, HDCMemory
+
+DIMENSIONS = 256
+N_CLASSES = 8
+N_TRAIN = 4
+N_QUERIES = 20
+
+
+def run_at_threshold(threshold: float, seed: int = 3) -> tuple[float, float, float]:
+    """Train and query one memory; return (accuracy, mean energy, X density)."""
+    rng = np.random.default_rng(seed)
+    encoder = HDCEncoder(
+        dimensions=DIMENSIONS, n_features=24, n_levels=8, rng=np.random.default_rng(99)
+    )
+    array = build_array(get_design("fefet2t"), ArrayGeometry(N_CLASSES, DIMENSIONS))
+    memory = HDCMemory(array, confidence_threshold=threshold)
+
+    centers = {}
+    for label in range(N_CLASSES):
+        center = rng.integers(0, 8, size=24)
+        examples = np.stack(
+            [
+                encoder.encode(np.clip(center + rng.integers(-1, 2, 24), 0, 7))
+                for _ in range(N_TRAIN)
+            ]
+        )
+        memory.train_class(label, examples)
+        centers[label] = center
+
+    correct = 0
+    energy = 0.0
+    total = 0
+    for label, center in centers.items():
+        for _ in range(N_QUERIES // N_CLASSES + 1):
+            noisy = np.clip(center + rng.integers(-1, 2, 24), 0, 7)
+            result = memory.classify(encoder.encode(noisy))
+            correct += result.label == label
+            energy += result.energy
+            total += 1
+    return correct / total, energy / total, memory.x_density()
+
+
+def main() -> None:
+    print(f"{N_CLASSES}-class one-shot learning, {DIMENSIONS}-d hypervectors")
+    print(f"{'X-threshold':>12s} {'accuracy':>9s} {'E/query':>10s} {'X density':>10s}")
+    for threshold in (0.0, 0.2, 0.4, 0.6):
+        accuracy, energy, density = run_at_threshold(threshold)
+        print(
+            f"{threshold:>12.1f} {accuracy:>9.2%} {eng(energy, 'J'):>10s} "
+            f"{density:>10.2%}"
+        )
+    print(
+        "\nDon't-care masking drops low-confidence prototype bits: the "
+        "stored patterns tolerate more query noise at the same accuracy. "
+        "Energy in associative mode is dominated by the full discharge of "
+        "every losing row, so the masking knob buys robustness, not energy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Deep packet inspection: byte-signature scanning on a FeFET TCAM.
+
+Compiles a signature database (with wildcard bytes), slides a payload
+past the TCAM one byte per search, cross-checks every hit against a
+software oracle, and shows the search-line locality bonus the sliding
+window earns over uncorrelated keys.
+
+Run:
+    python examples/intrusion_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ArrayGeometry, build_array, get_design, random_word
+from repro.units import eng
+from repro.workloads.signatures import (
+    SignatureSet,
+    plant_signatures,
+    synthetic_signatures,
+)
+
+WINDOW_BYTES = 8
+N_SIGNATURES = 24
+PAYLOAD_BYTES = 400
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+
+    signatures = synthetic_signatures(
+        N_SIGNATURES, rng, min_bytes=4, max_bytes=WINDOW_BYTES, wildcard_fraction=0.15
+    )
+    sigset = SignatureSet(signatures, window_bytes=WINDOW_BYTES)
+    print(
+        f"{N_SIGNATURES} signatures compiled into {sigset.word_width}-trit words "
+        f"({WINDOW_BYTES}-byte window)"
+    )
+
+    array = build_array(get_design("fefet2t_lv"), ArrayGeometry(32, sigset.word_width))
+    sigset.deploy(array)
+
+    payload = bytearray(rng.integers(0, 256, size=PAYLOAD_BYTES).astype(np.uint8).tobytes())
+    planted = [(2, 40), (7, 150), (2, 260), (11, 333)]
+    payload = bytearray(plant_signatures(payload, signatures, planted))
+
+    hits, energy = sigset.scan_tcam(array, bytes(payload))
+    oracle = sigset.scan_reference(bytes(payload))
+    print(f"\nScanned {PAYLOAD_BYTES} bytes ({PAYLOAD_BYTES} searches)")
+    print(f"  hits           : {len(hits)} (oracle: {len(oracle)}, agree: {hits == oracle})")
+    for hit in hits[:6]:
+        print(f"    offset {hit.position:>4}  signature {hit.sig_id}")
+    print(f"  scan energy    : {eng(energy, 'J')} "
+          f"({eng(energy / PAYLOAD_BYTES, 'J')} per window)")
+
+    # --- Compare against uncorrelated keys -------------------------------
+    fresh = build_array(get_design("fefet2t_lv"), ArrayGeometry(32, sigset.word_width))
+    sigset.deploy(fresh)
+    random_energy = sum(
+        fresh.search(random_word(sigset.word_width, rng)).energy_total
+        for _ in range(PAYLOAD_BYTES)
+    )
+    print(
+        f"\nSame search count with uncorrelated keys: {eng(random_energy, 'J')} "
+        f"({random_energy / energy:.2f}x the sliding scan)"
+    )
+    print(
+        "A byte-sliding window *shifts* the data, so its search lines toggle "
+        "almost as much as random keys do; the energy win here comes from the "
+        "low-voltage FeFET match lines, not from key locality."
+    )
+
+
+if __name__ == "__main__":
+    main()

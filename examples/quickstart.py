@@ -1,0 +1,52 @@
+"""Quickstart: build a FeFET TCAM, search it, and read the energy ledger.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ArrayGeometry, all_designs, build_array, get_design, random_word
+from repro.units import eng
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    geometry = ArrayGeometry(rows=64, cols=64)
+
+    # --- Build the proposed low-voltage FeFET TCAM ----------------------
+    array = build_array(get_design("fefet2t_lv"), geometry)
+    print(f"Built {geometry.rows}x{geometry.cols} array, design 'fefet2t_lv'")
+    print(f"  match-line capacitance : {eng(array.c_ml, 'F')}")
+    print(f"  evaluation window      : {eng(array.t_eval, 's')}")
+    print(f"  sense margin (nominal) : {array.sense_margin():.3f} V")
+
+    # --- Load a ternary table and run searches --------------------------
+    words = [random_word(64, rng, x_fraction=0.3) for _ in range(64)]
+    write_energy = array.load(words)
+    print(f"\nLoaded 64 words; total write energy {eng(write_energy.total, 'J')}")
+
+    key = words[10]  # guaranteed hit at row 10
+    outcome = array.search(key)
+    print(f"\nSearch for stored word 10 -> first match at row {outcome.first_match}")
+    print(f"  search energy : {eng(outcome.energy_total, 'J')}")
+    print(f"  search delay  : {eng(outcome.search_delay, 's')}")
+    print("  energy breakdown:")
+    for component, joules in outcome.energy.breakdown().items():
+        print(f"    {component:18s} {eng(joules, 'J')}")
+
+    # --- Compare all five designs on the same workload ------------------
+    print("\nPer-search energy, identical 64x64 workload:")
+    keys = [random_word(64, rng) for _ in range(8)]
+    for spec in all_designs():
+        arr = build_array(spec, geometry)
+        arr.load(words)
+        mean = sum(arr.search(k).energy_total for k in keys) / len(keys)
+        marker = " (proposed)" if spec.is_proposed else ""
+        print(f"  {spec.display_name:28s} {eng(mean, 'J')}{marker}")
+
+
+if __name__ == "__main__":
+    main()

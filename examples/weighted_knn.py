@@ -1,0 +1,99 @@
+"""Feature-weighted nearest-neighbour search on an MLC FeFET TCAM.
+
+Stores binary feature vectors with per-feature importance weights
+(programmed as partial polarization levels) and classifies queries by
+the *weighted* Hamming distance, read out in the time domain: the match
+line of the best row is the last to cross the sense reference.
+
+The demo plants two classes that differ only in their high-weight
+features and shows that weighting recovers the labels where unweighted
+Hamming distance fails.
+
+Run:
+    python examples/weighted_knn.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tcam import ArrayGeometry, TernaryWord, WeightedTCAMArray
+from repro.units import eng
+
+N_FEATURES = 32
+N_IMPORTANT = 8  # leading features carry the class signal
+N_PER_CLASS = 6
+
+
+def make_dataset(rng: np.random.Generator):
+    """Two classes separated only in the first N_IMPORTANT features."""
+    prototypes = {
+        0: rng.integers(0, 2, size=N_IMPORTANT),
+        1: None,
+    }
+    prototypes[1] = 1 - prototypes[0]  # opposite signature
+    rows = []
+    for label, proto in prototypes.items():
+        for _ in range(N_PER_CLASS):
+            head = proto.copy()
+            flip = rng.random(N_IMPORTANT) < 0.1  # slight intra-class noise
+            head[flip] = 1 - head[flip]
+            tail = rng.integers(0, 2, size=N_FEATURES - N_IMPORTANT)  # pure noise
+            rows.append((label, np.concatenate([head, tail])))
+    rng.shuffle(rows)
+    return prototypes, rows
+
+
+def classify(array: WeightedTCAMArray, labels: list[int], query: np.ndarray):
+    out = array.distance_search(TernaryWord(query.astype(np.int8)))
+    return labels[out.best_row], out
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    prototypes, rows = make_dataset(rng)
+
+    # Weight 4 on the informative features, weight 1 on the noise tail.
+    weights = np.concatenate(
+        [np.full(N_IMPORTANT, 4), np.ones(N_FEATURES - N_IMPORTANT)]
+    ).astype(int)
+    weighted = WeightedTCAMArray(ArrayGeometry(len(rows), N_FEATURES))
+    unweighted = WeightedTCAMArray(ArrayGeometry(len(rows), N_FEATURES))
+    labels = []
+    for row, (label, vector) in enumerate(rows):
+        word = TernaryWord(vector.astype(np.int8))
+        weighted.write(row, word, weights)
+        unweighted.write(row, word, np.ones(N_FEATURES, dtype=int))
+        labels.append(label)
+
+    n_queries = 24
+    correct_w = correct_u = 0
+    energy = 0.0
+    for _ in range(n_queries):
+        label = int(rng.integers(0, 2))
+        head = prototypes[label].copy()
+        flip = rng.random(N_IMPORTANT) < 0.15
+        head[flip] = 1 - head[flip]
+        tail = rng.integers(0, 2, size=N_FEATURES - N_IMPORTANT)
+        query = np.concatenate([head, tail])
+
+        got_w, out = classify(weighted, labels, query)
+        got_u, _ = classify(unweighted, labels, query)
+        correct_w += got_w == label
+        correct_u += got_u == label
+        energy += out.energy.total
+
+    print(f"{len(rows)} stored exemplars, {N_FEATURES} features "
+          f"({N_IMPORTANT} informative, weighted 4x)")
+    print(f"weighted-distance accuracy   : {correct_w}/{n_queries}")
+    print(f"unweighted (plain Hamming)   : {correct_u}/{n_queries}")
+    print(f"energy per weighted query    : {eng(energy / n_queries, 'J')}")
+    print(
+        "\nThe noise tail swamps plain Hamming distance; programming the "
+        "informative columns to a stronger polarization level makes their "
+        "mismatches discharge the match line 4x harder, recovering the signal."
+    )
+
+
+if __name__ == "__main__":
+    main()

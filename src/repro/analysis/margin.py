@@ -1,0 +1,110 @@
+"""Deterministic sense-margin analysis.
+
+The worst-case corner of a NOR TCAM is distinguishing a *full match* (the
+line droops only through leakage) from a *single mismatch* (one pull-down
+fights the whole line capacitance).  :func:`worst_case_margin` evaluates
+both lines at the strobe instant for any cell/configuration combination,
+optionally with threshold offsets injected on the critical devices --
+the primitive the Monte-Carlo engine samples around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.matchline import MatchLine, MatchLineLoad
+from ..errors import AnalysisError
+from ..tcam.cell import CellDescriptor
+
+
+@dataclass(frozen=True)
+class MarginAnalysis:
+    """Sense-margin evaluation at one operating point.
+
+    Attributes:
+        v_match: Matching-line voltage at the strobe [V].
+        v_single_miss: 1-mismatch line voltage at the strobe [V].
+        margin: ``v_match - v_single_miss`` [V].
+        v_sense: Sense reference used for the pass/fail checks [V].
+        match_read_correctly: The matching line stays above the reference.
+        miss_read_correctly: The mismatching line falls below the reference.
+    """
+
+    v_match: float
+    v_single_miss: float
+    margin: float
+    v_sense: float
+    match_read_correctly: bool
+    miss_read_correctly: bool
+
+    @property
+    def functional(self) -> bool:
+        """Both verdicts correct at this corner."""
+        return self.match_read_correctly and self.miss_read_correctly
+
+
+def worst_case_margin(
+    cell: CellDescriptor,
+    c_ml: float,
+    cols: int,
+    v_precharge: float,
+    v_supply: float,
+    v_sense: float,
+    t_eval: float,
+    pulldown_vt_offset: float = 0.0,
+    leak_scale: float = 1.0,
+) -> MarginAnalysis:
+    """Evaluate the match / 1-mismatch corner.
+
+    Args:
+        cell: Cell technology.
+        c_ml: Match-line capacitance [F].
+        cols: Word width (all columns driven -- the worst leakage case).
+        v_precharge: ML precharge target [V].
+        v_supply: Supply the restore draws from [V].
+        v_sense: Sense reference [V].
+        t_eval: Evaluation window [s].
+        pulldown_vt_offset: Threshold offset of the single mismatching
+            device [V]; positive weakens the pull-down (the bad direction).
+        leak_scale: Multiplier on the aggregate match-side leakage
+            (samples the leakage tail; > 1 is the bad direction).
+    """
+    if cols < 1:
+        raise AnalysisError(f"cols must be >= 1, got {cols}")
+    if leak_scale < 0.0:
+        raise AnalysisError(f"leak_scale must be non-negative, got {leak_scale}")
+    if not 0.0 < v_sense < v_precharge:
+        raise AnalysisError(
+            f"v_sense {v_sense} V must lie inside (0, {v_precharge}) V"
+        )
+
+    def leak_scaled(v: float) -> float:
+        return leak_scale * cell.i_leak(v)
+
+    def pulldown_offset(v: float) -> float:
+        return cell.i_pulldown(v, vt_offset=pulldown_vt_offset)
+
+    match_load = MatchLineLoad(
+        capacitance=c_ml,
+        n_miss=0,
+        n_match=cols,
+        i_pulldown=pulldown_offset,
+        i_leak=leak_scaled,
+    )
+    miss_load = MatchLineLoad(
+        capacitance=c_ml,
+        n_miss=1,
+        n_match=cols - 1,
+        i_pulldown=pulldown_offset,
+        i_leak=leak_scaled,
+    )
+    v_match = MatchLine(match_load, v_precharge, v_supply).voltage_after(t_eval)
+    v_miss = MatchLine(miss_load, v_precharge, v_supply).voltage_after(t_eval)
+    return MarginAnalysis(
+        v_match=v_match,
+        v_single_miss=v_miss,
+        margin=v_match - v_miss,
+        v_sense=v_sense,
+        match_read_correctly=v_match > v_sense,
+        miss_read_correctly=v_miss < v_sense,
+    )

@@ -1,0 +1,149 @@
+"""Monte-Carlo sense-margin analysis (experiment R-F6).
+
+Each sample draws:
+
+* a threshold offset for the critical mismatching device (Pelgrom-like
+  normal, ``sigma_vt``),
+* a lognormal-ish aggregate leakage factor for the match side: every
+  matching cell's subthreshold current scales ``exp(-dVT / (n * phi_t))``
+  with its own offset, so the sum over the word is computed exactly from
+  per-cell draws,
+* a sense-amplifier input offset.
+
+The sampled corner is pushed through the same deterministic margin
+primitive as the nominal analysis, so the MC distribution is consistent
+with the nominal numbers by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..devices.variability import VariationSpec
+from ..errors import AnalysisError
+from ..tcam.array import TCAMArray
+from ..units import thermal_voltage
+from .margin import MarginAnalysis, worst_case_margin
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Distribution-level outcome of a margin MC run.
+
+    Attributes:
+        margins: Sampled margins [V], shape ``(n_samples,)``.
+        failures: Per-sample functional failures (bool array).
+        failure_rate: Fraction of failing samples.
+        margin_mean: Mean margin [V].
+        margin_sigma: Std-dev of the margin [V].
+        n_samples: Sample count.
+    """
+
+    margins: np.ndarray
+    failures: np.ndarray
+    failure_rate: float
+    margin_mean: float
+    margin_sigma: float
+    n_samples: int
+
+    def margin_percentile(self, q: float) -> float:
+        """Margin at percentile ``q`` (0-100)."""
+        if not 0.0 <= q <= 100.0:
+            raise AnalysisError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self.margins, q))
+
+
+def _leak_scale_factor(
+    spec: VariationSpec,
+    cols: int,
+    n_slope: float,
+    temperature_k: float,
+    rng: np.random.Generator,
+    vt_to_on: float = 0.40,
+) -> float:
+    """Aggregate match-side leakage multiplier for one sample.
+
+    Subthreshold current scales exponentially with the threshold offset --
+    but only until the device reaches its threshold; beyond that the
+    current saturates instead of growing another decade per ``n*phi_t``.
+    The per-cell factor is therefore capped at ``exp(vt_to_on / (n*phi_t))``,
+    the subthreshold-to-on ratio of the leak path (0.40 V for the default
+    cell's undriven-LVT device).  Without the cap the engine overstates
+    failures by orders of magnitude at scaled sigma -- measured directly
+    by the full-array simulator (experiment R-F18).
+    """
+    if spec.sigma_vt_fefet == 0.0:
+        return 1.0
+    phi_t = thermal_voltage(temperature_k)
+    offsets = rng.normal(0.0, spec.sigma_vt_fefet, size=cols)
+    exponents = np.minimum(-offsets / (n_slope * phi_t), vt_to_on / (n_slope * phi_t))
+    factors = np.exp(exponents)
+    return float(np.mean(factors))
+
+
+def run_margin_mc(
+    array: TCAMArray,
+    spec: VariationSpec,
+    n_samples: int = 1000,
+    seed: int = 2021,
+    n_slope: float = 1.35,
+    temperature_k: float = 300.0,
+) -> MonteCarloResult:
+    """Sample the match / 1-mismatch margin of a precharge-style array.
+
+    Args:
+        array: The array configuration under test (cell, c_ml, t_eval,
+            precharge target and sense reference are read from it).
+        spec: Variation corner to sample.
+        n_samples: Monte-Carlo sample count.
+        seed: RNG seed.
+        n_slope: Subthreshold slope factor used for the leakage statistics.
+        temperature_k: Temperature for the leakage statistics [K].
+
+    Raises:
+        AnalysisError: for current-race arrays (different failure model)
+            or invalid sample counts.
+    """
+    if array.sensing != "precharge":
+        raise AnalysisError("margin MC applies to precharge-style sensing")
+    if n_samples < 1:
+        raise AnalysisError(f"n_samples must be >= 1, got {n_samples}")
+
+    rng = np.random.default_rng(seed)
+    cols = array.geometry.cols
+    v_pre = array.precharge.target_voltage()
+    v_ref = array.sense_amp.v_ref
+
+    margins = np.empty(n_samples)
+    failures = np.zeros(n_samples, dtype=bool)
+    for k in range(n_samples):
+        # Positive offset on the critical pull-down weakens it (bad);
+        # the draw is two-sided, matching physical mismatch.
+        dvt_pd = float(rng.normal(0.0, spec.sigma_vt_fefet)) if spec.sigma_vt_fefet else 0.0
+        leak_scale = _leak_scale_factor(spec, cols, n_slope, temperature_k, rng)
+        sa_off = float(rng.normal(0.0, spec.sa_offset_sigma)) if spec.sa_offset_sigma else 0.0
+
+        corner: MarginAnalysis = worst_case_margin(
+            array.cell,
+            array.c_ml,
+            cols,
+            v_pre,
+            array.vdd,
+            min(max(v_ref + sa_off, 1e-3), v_pre - 1e-3),
+            array.t_eval,
+            pulldown_vt_offset=dvt_pd,
+            leak_scale=leak_scale,
+        )
+        margins[k] = corner.margin
+        failures[k] = not corner.functional
+
+    return MonteCarloResult(
+        margins=margins,
+        failures=failures,
+        failure_rate=float(np.mean(failures)),
+        margin_mean=float(np.mean(margins)),
+        margin_sigma=float(np.std(margins)),
+        n_samples=n_samples,
+    )

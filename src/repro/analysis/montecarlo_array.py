@@ -1,0 +1,264 @@
+"""Full per-cell Monte-Carlo array simulation (experiment R-F18).
+
+The margin-based MC engine (:mod:`.montecarlo`) abstracts the array to
+its worst-case line.  This module drops the abstraction: it instantiates
+one complete FeFET array with a *sampled threshold offset in every cell*,
+integrates each row's match line with its own per-cell current ensemble,
+and strobes each row's (offset-sampled) sense amplifier.  Functional
+errors are then *measured*, not inferred.
+
+Two questions only this level can answer:
+
+* does the worst-case margin abstraction predict the measured
+  search-failure rate (validation of the cheaper engine), and
+* how do errors depend on the workload's match-proximity profile -- rows
+  with many mismatches are unconditionally safe; all the risk sits in
+  full matches and near-misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.rc import discharge_waveform
+from ..devices.mosfet import ekv_current_vec
+from ..devices.variability import VariationSpec
+from ..errors import AnalysisError
+from ..tcam.array import ArrayGeometry
+from ..tcam.cells.fefet2t import FeFET2TCell
+from ..tcam.trit import TernaryWord, Trit, mismatch_counts
+from ..units import thermal_voltage
+
+
+@dataclass(frozen=True)
+class ArrayMCResult:
+    """Measured outcome of one sampled-array search campaign.
+
+    Attributes:
+        n_searches: Searches executed.
+        n_row_decisions: Total row decisions (searches x rows).
+        wrong_rows: Row decisions disagreeing with the ternary oracle.
+        wrong_searches: Searches with at least one wrong row.
+        errors_by_distance: ``{mismatch_count: wrong decisions}`` -- where
+            the risk actually lives.
+    """
+
+    n_searches: int
+    n_row_decisions: int
+    wrong_rows: int
+    wrong_searches: int
+    errors_by_distance: dict[int, int]
+
+    @property
+    def row_error_rate(self) -> float:
+        """Per-row-decision error probability."""
+        return self.wrong_rows / self.n_row_decisions
+
+    @property
+    def search_error_rate(self) -> float:
+        """Per-search error probability."""
+        return self.wrong_searches / self.n_searches
+
+
+def critical_keys(
+    words: list[TernaryWord], rng: np.random.Generator, per_word: int = 2
+) -> list[TernaryWord]:
+    """Keys that exercise the sensing-critical corners of ``words``.
+
+    For each stored word: one fully specified key that exactly matches it
+    (X columns filled with random bits) and ``per_word - 1`` keys at
+    ternary distance 1 (one specified column flipped).  Random keys never
+    produce these corners -- a random 64-bit key sits ~16+ mismatches from
+    everything, where no variation can flip a decision -- so a meaningful
+    error campaign must plant them.
+    """
+    if per_word < 1:
+        raise AnalysisError(f"per_word must be >= 1, got {per_word}")
+    keys = []
+    for word in words:
+        filled = [
+            Trit(int(rng.integers(0, 2))) if t is Trit.X else t for t in word
+        ]
+        keys.append(TernaryWord(filled))
+        specified = [i for i, t in enumerate(word) if t is not Trit.X]
+        for _ in range(per_word - 1):
+            if not specified:
+                break
+            flip = int(rng.choice(specified))
+            near = list(filled)
+            near[flip] = Trit.ONE if filled[flip] is Trit.ZERO else Trit.ZERO
+            keys.append(TernaryWord(near))
+    return keys
+
+
+class SampledFeFETArray:
+    """One physical instance of a FeFET TCAM with per-cell variation.
+
+    Args:
+        geometry: Array shape.
+        spec: Variation corner; every compare device draws its own
+            threshold offset and each row's SA draws an input offset.
+        rng: Sample source.
+        vdd: Supply / precharge voltage [V].
+        v_sense: Nominal sense reference [V].
+        t_eval: Evaluation window [s]; defaults to the nominal design's.
+    """
+
+    def __init__(
+        self,
+        geometry: ArrayGeometry,
+        spec: VariationSpec,
+        rng: np.random.Generator,
+        vdd: float = 0.9,
+        v_sense: float | None = None,
+        t_eval: float | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.vdd = vdd
+        self.cell = FeFET2TCell()
+        f = self.cell.params.fefet
+        self._phi_t = thermal_voltage(300.0)
+        self._beta = f.kp * f.width / f.length
+
+        rows, cols = geometry.rows, geometry.cols
+        # One offset per compare FeFET: [row, col, device(A/B)].
+        self._dvt = (
+            rng.normal(0.0, spec.sigma_vt_fefet, size=(rows, cols, 2))
+            if spec.sigma_vt_fefet > 0.0
+            else np.zeros((rows, cols, 2))
+        )
+        self._sa_offset = (
+            rng.normal(0.0, spec.sa_offset_sigma, size=rows)
+            if spec.sa_offset_sigma > 0.0
+            else np.zeros(rows)
+        )
+        self._stored = np.full((rows, cols), int(Trit.X), dtype=np.int8)
+
+        # Borrow the nominal design's electrical configuration.
+        from ..core.designs import build_array, get_design
+
+        nominal = build_array(get_design("fefet2t"), geometry, vdd=vdd)
+        self.c_ml = nominal.c_ml
+        self.v_sense = v_sense if v_sense is not None else nominal.sense_amp.v_ref
+        self.t_eval = t_eval if t_eval is not None else nominal.t_eval
+
+    def load(self, words: list[TernaryWord]) -> None:
+        """Store words row-major (no energy accounting at this level)."""
+        if len(words) > self.geometry.rows:
+            raise AnalysisError(
+                f"{len(words)} words exceed {self.geometry.rows} rows"
+            )
+        for row, word in enumerate(words):
+            if len(word) != self.geometry.cols:
+                raise AnalysisError("word width mismatch")
+            self._stored[row] = word.as_array()
+
+    # ------------------------------------------------------------------
+
+    def _row_currents(self, row: int, key_arr: np.ndarray):
+        """Per-device thresholds loading one row's match line.
+
+        Returns:
+            ``(vt_conducting, vt_leak_lvt, n_hvt_leak)``: thresholds of the
+            driven-LVT (mismatch) devices, thresholds of the undriven-LVT
+            devices of matching cells (the dominant leak path, each with
+            its own sampled offset), and the count of driven-HVT devices
+            (kept at the nominal subthreshold level).
+        """
+        f = self.cell.params.fefet
+        stored = self._stored[row]
+        x = int(Trit.X)
+        driven = key_arr != x
+        specific = stored != x
+
+        # Device A conducts when search==0 and stored==1 (A is LVT);
+        # device B when search==1 and stored==0.
+        miss_a = driven & specific & (key_arr == 0) & (stored == 1)
+        miss_b = driven & specific & (key_arr == 1) & (stored == 0)
+        vts = []
+        if miss_a.any():
+            vts.append(f.vt_lvt + self._dvt[row, miss_a, 0])
+        if miss_b.any():
+            vts.append(f.vt_lvt + self._dvt[row, miss_b, 1])
+        vt_conducting = np.concatenate(vts) if vts else np.empty(0)
+
+        # Matching specified cells: the undriven LVT device (A for stored
+        # 1, B for stored 0) leaks at VGS = 0 with its own offset.
+        match_mask = driven & ~(miss_a | miss_b)
+        leak = []
+        m1 = match_mask & specific & (stored == 1)
+        m0 = match_mask & specific & (stored == 0)
+        if m1.any():
+            leak.append(f.vt_lvt + self._dvt[row, m1, 0])
+        if m0.any():
+            leak.append(f.vt_lvt + self._dvt[row, m0, 1])
+        vt_leak_lvt = np.concatenate(leak) if leak else np.empty(0)
+        n_hvt_leak = int(np.count_nonzero(match_mask))
+        return vt_conducting, vt_leak_lvt, n_hvt_leak
+
+    def _physical_row_decision(self, row: int, key_arr: np.ndarray) -> bool:
+        f = self.cell.params.fefet
+        vt_on, vt_leak, n_hvt = self._row_currents(row, key_arr)
+
+        if vt_on.size == 0 and vt_leak.size == 0 and n_hvt == 0:
+            return True  # fully masked: the line cannot move
+
+        i_hvt_nominal = ekv_current_vec(
+            self.cell.params.v_search, self.vdd, np.array([f.vt_hvt]),
+            self._beta, f.n_slope, self._phi_t, f.lambda_cl,
+        )[0]
+
+        def i_total(v: float) -> float:
+            total = 0.0
+            if vt_on.size:
+                total += float(
+                    ekv_current_vec(
+                        self.cell.params.v_search, v, vt_on, self._beta,
+                        f.n_slope, self._phi_t, f.lambda_cl,
+                    ).sum()
+                )
+            if vt_leak.size:
+                total += float(
+                    ekv_current_vec(
+                        0.0, v, vt_leak, self._beta,
+                        f.n_slope, self._phi_t, f.lambda_cl,
+                    ).sum()
+                )
+            if n_hvt:
+                total += n_hvt * i_hvt_nominal * (v / self.vdd if v < self.vdd else 1.0)
+            return total
+
+        grid = np.linspace(0.0, self.t_eval, 33)
+        v_end = float(discharge_waveform(self.c_ml, i_total, self.vdd, grid)[-1])
+        return v_end > self.v_sense + self._sa_offset[row]
+
+    def run_campaign(self, keys: list[TernaryWord]) -> ArrayMCResult:
+        """Search every key; measure disagreements with the ternary oracle."""
+        if not keys:
+            raise AnalysisError("campaign needs at least one key")
+        rows = self.geometry.rows
+        wrong_rows = 0
+        wrong_searches = 0
+        by_distance: dict[int, int] = {}
+        for key in keys:
+            key_arr = key.as_array()
+            distances = mismatch_counts(self._stored, key_arr)
+            any_wrong = False
+            for row in range(rows):
+                physical = self._physical_row_decision(row, key_arr)
+                logical = distances[row] == 0
+                if physical != logical:
+                    wrong_rows += 1
+                    any_wrong = True
+                    d = int(distances[row])
+                    by_distance[d] = by_distance.get(d, 0) + 1
+            wrong_searches += any_wrong
+        return ArrayMCResult(
+            n_searches=len(keys),
+            n_row_decisions=len(keys) * rows,
+            wrong_rows=wrong_rows,
+            wrong_searches=wrong_searches,
+            errors_by_distance=dict(sorted(by_distance.items())),
+        )

@@ -1,0 +1,63 @@
+"""Search-failure probability and yield-vs-variation sweeps.
+
+Builds on the Monte-Carlo margin engine: a *search failure* is any corner
+where the match/1-mismatch verdicts invert.  The array-level failure
+probability follows from the per-line failure probability and the row
+count (a search is wrong if any line misreads).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..devices.variability import VariationSpec
+from ..errors import AnalysisError
+from ..tcam.array import TCAMArray
+from .montecarlo import MonteCarloResult, run_margin_mc
+
+
+def search_failure_probability(line_failure_rate: float, rows: int) -> float:
+    """Probability at least one of ``rows`` independent lines misreads.
+
+    >>> search_failure_probability(0.0, 1024)
+    0.0
+    """
+    if not 0.0 <= line_failure_rate <= 1.0:
+        raise AnalysisError(
+            f"failure rate must be in [0, 1], got {line_failure_rate}"
+        )
+    if rows < 1:
+        raise AnalysisError(f"rows must be >= 1, got {rows}")
+    if line_failure_rate == 0.0:
+        return 0.0
+    if line_failure_rate == 1.0:
+        return 1.0
+    # log-space for numerical robustness at tiny rates and large row counts
+    log_ok = rows * math.log1p(-line_failure_rate)
+    return 1.0 - math.exp(log_ok)
+
+
+def failure_rate_vs_sigma(
+    array: TCAMArray,
+    base_spec: VariationSpec,
+    sigma_scales: np.ndarray,
+    n_samples: int = 500,
+    seed: int = 99,
+) -> list[tuple[float, MonteCarloResult]]:
+    """Sweep a multiplicative scale on every variation sigma.
+
+    Returns:
+        ``(scale, MonteCarloResult)`` pairs, one per entry in
+        ``sigma_scales`` -- the data behind experiment R-F6's failure
+        curve.
+    """
+    results = []
+    for scale in np.asarray(sigma_scales, dtype=float):
+        if scale < 0.0:
+            raise AnalysisError(f"sigma scale must be non-negative, got {scale}")
+        scaled = base_spec.scaled(float(scale))
+        mc = run_margin_mc(array, scaled, n_samples=n_samples, seed=seed)
+        results.append((float(scale), mc))
+    return results

@@ -1,0 +1,149 @@
+"""NAND-type match string.
+
+In a NAND TCAM the cells of one word sit *in series*: the evaluation node
+at the end of the string is precharged, and only a word whose every cell
+conducts (a full match) discharges it.  Any single mismatch breaks the
+string, so mismatching words -- the overwhelming majority in real traffic
+-- pay essentially nothing on the match path.
+
+The price is delay: the discharge drives through N series on-resistances
+with distributed diffusion capacitance, so the Elmore delay grows
+quadratically in the word length (Pagiamtzis & Sheikholeslami, JSSC'06).
+This module models exactly that trade:
+
+* Elmore delay of the discharging string: ``R_eval`` sees ``C_eval`` plus
+  the ladder sum ``sum_k k * R_cell * C_cell ~ N^2/2 * R_cell * C_cell``,
+* discharge energy: ``C_total * V_pre * V_supply`` only for matches,
+* a broken string leaks through the off cell's subthreshold current.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import CircuitError
+
+
+@dataclass(frozen=True)
+class NANDStringParams:
+    """Electrical description of one NAND match string.
+
+    Attributes:
+        n_cells: Cells in series (word width).
+        r_on_per_cell: On-resistance of one conducting cell [ohm].
+        c_node_per_cell: Diffusion capacitance at each internal node [F].
+        c_eval: Evaluation-node capacitance (sense input + precharge) [F].
+        i_off_per_cell: Off-state current of one blocking cell [A]
+            (what a broken string still leaks).
+    """
+
+    n_cells: int
+    r_on_per_cell: float
+    c_node_per_cell: float
+    c_eval: float
+    i_off_per_cell: float
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 1:
+            raise CircuitError(f"n_cells must be >= 1, got {self.n_cells}")
+        if self.r_on_per_cell <= 0.0:
+            raise CircuitError("per-cell on-resistance must be positive")
+        if self.c_node_per_cell < 0.0 or self.c_eval <= 0.0:
+            raise CircuitError("capacitances must be non-negative (c_eval positive)")
+        if self.i_off_per_cell < 0.0:
+            raise CircuitError("off current must be non-negative")
+
+
+@dataclass(frozen=True)
+class NANDStringResult:
+    """One string evaluation.
+
+    Attributes:
+        conducts: True when every cell in the word matched.
+        t_discharge: Elmore-style time for the evaluation node to fall to
+            the sense threshold [s]; ``inf`` for a broken string.
+        energy: Energy to restore whatever charge was lost [J].
+        v_end: Evaluation-node voltage at the strobe [V].
+    """
+
+    conducts: bool
+    t_discharge: float
+    energy: float
+    v_end: float
+
+
+class NANDMatchString:
+    """Evaluate one NAND word's match string.
+
+    Args:
+        params: String electrical description.
+        v_precharge: Evaluation-node precharge voltage [V].
+        v_supply: Supply the restore draws from [V].
+    """
+
+    def __init__(self, params: NANDStringParams, v_precharge: float, v_supply: float) -> None:
+        if v_precharge <= 0.0:
+            raise CircuitError(f"precharge voltage must be positive, got {v_precharge}")
+        if v_supply < v_precharge:
+            raise CircuitError("supply must be >= precharge target")
+        self.params = params
+        self.v_precharge = v_precharge
+        self.v_supply = v_supply
+
+    @property
+    def total_capacitance(self) -> float:
+        """Evaluation node plus every internal string node [F]."""
+        p = self.params
+        return p.c_eval + p.n_cells * p.c_node_per_cell
+
+    @property
+    def elmore_delay_constant(self) -> float:
+        """Elmore time constant of the conducting string [s].
+
+        The evaluation node discharges through the whole ladder:
+        ``tau = sum_{k=1}^{N} (k * R_cell) * C_node + N * R_cell * C_eval``
+        -- the quadratic ladder term is the NAND architecture's defining cost.
+        """
+        p = self.params
+        ladder = p.r_on_per_cell * p.c_node_per_cell * p.n_cells * (p.n_cells + 1) / 2.0
+        through = p.n_cells * p.r_on_per_cell * p.c_eval
+        return ladder + through
+
+    def time_to(self, v_sense: float) -> float:
+        """Time for a conducting string to pull the node to ``v_sense`` [s]."""
+        if not 0.0 < v_sense < self.v_precharge:
+            raise CircuitError(
+                f"sense threshold {v_sense} V must lie inside (0, {self.v_precharge}) V"
+            )
+        tau = self.elmore_delay_constant
+        return tau * math.log(self.v_precharge / v_sense)
+
+    def evaluate(self, n_mismatches: int, v_sense: float, t_eval: float) -> NANDStringResult:
+        """Evaluate the string for a word carrying ``n_mismatches``.
+
+        Args:
+            n_mismatches: Broken cells in the series path (0 == match).
+            v_sense: Sense threshold on the evaluation node [V].
+            t_eval: Evaluation window [s].
+        """
+        if n_mismatches < 0:
+            raise CircuitError("mismatch count must be non-negative")
+        if t_eval <= 0.0:
+            raise CircuitError(f"t_eval must be positive, got {t_eval}")
+        if n_mismatches == 0:
+            t_cross = self.time_to(v_sense)
+            tau = self.elmore_delay_constant
+            v_end = self.v_precharge * math.exp(-t_eval / tau)
+            conducts = t_cross <= t_eval
+            swing = self.v_precharge - v_end
+            energy = self.total_capacitance * swing * self.v_supply
+            return NANDStringResult(conducts, t_cross, energy, v_end)
+
+        # Broken string: the eval node only droops through the off leakage
+        # of the first blocking cell.
+        droop = self.params.i_off_per_cell * t_eval / self.params.c_eval
+        v_end = max(self.v_precharge - droop, 0.0)
+        energy = self.params.c_eval * (self.v_precharge - v_end) * self.v_supply
+        conducts = v_end < v_sense  # only under catastrophic leakage
+        return NANDStringResult(conducts, math.inf, energy, v_end)

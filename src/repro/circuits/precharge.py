@@ -1,0 +1,152 @@
+"""Match-line precharge schemes.
+
+The precharge scheme is where two of the paper's energy-aware knobs live:
+
+* :class:`FullSwingPrecharge` -- conventional PMOS precharge to VDD; every
+  missing line costs ``C_ML * VDD^2`` per cycle.
+* :class:`ClampedPrecharge` -- an NMOS source follower clamps the line at
+  ``v_clamp_gate - vt_n`` (< VDD).  The charge is still drawn from VDD, so
+  the energy is ``C_ML * V_ML * VDD``, linear rather than quadratic in the
+  ML swing -- the central trade of Design LV, bought with reduced sense
+  margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..errors import CircuitError
+from .rc import rc_time_to_reach
+
+
+class PrechargeScheme(Protocol):
+    """Protocol every precharge scheme implements."""
+
+    def target_voltage(self) -> float:
+        """ML voltage the scheme restores the line to [V]."""
+        ...
+
+    def restore_energy(self, c_ml: float, v_from: float) -> float:
+        """Supply energy to restore the line from ``v_from`` [J]."""
+        ...
+
+    def restore_time(self, c_ml: float, v_from: float) -> float:
+        """Time to restore the line from ``v_from`` [s]."""
+        ...
+
+
+@dataclass(frozen=True)
+class FullSwingPrecharge:
+    """PMOS precharge to the full supply.
+
+    Attributes:
+        vdd: Supply and precharge target [V].
+        r_device: Equivalent resistance of the precharge PMOS [ohm].
+        settle_fraction: Precharge is declared done within this fraction of
+            the final value (0.99 == within 1%).
+    """
+
+    vdd: float
+    r_device: float = 5e3
+    settle_fraction: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0.0:
+            raise CircuitError(f"vdd must be positive, got {self.vdd}")
+        if self.r_device <= 0.0:
+            raise CircuitError(f"device resistance must be positive, got {self.r_device}")
+        if not 0.0 < self.settle_fraction < 1.0:
+            raise CircuitError("settle_fraction must be in (0, 1)")
+
+    def target_voltage(self) -> float:
+        """Precharge target [V] (== VDD)."""
+        return self.vdd
+
+    def restore_energy(self, c_ml: float, v_from: float) -> float:
+        """Energy drawn from VDD to lift the line back to VDD [J]."""
+        self._check(c_ml, v_from)
+        swing = self.vdd - v_from
+        return c_ml * swing * self.vdd
+
+    def restore_time(self, c_ml: float, v_from: float) -> float:
+        """RC settling time of the precharge device [s].
+
+        Settled means within ``(1 - settle_fraction) * vdd`` (an absolute
+        band) of the target, so deeper discharges take longer to restore.
+        """
+        self._check(c_ml, v_from)
+        band = (1.0 - self.settle_fraction) * self.vdd
+        if v_from >= self.vdd - band:
+            return 0.0
+        return rc_time_to_reach(self.r_device, c_ml, v_from, self.vdd, self.vdd - band)
+
+    def _check(self, c_ml: float, v_from: float) -> None:
+        if c_ml <= 0.0:
+            raise CircuitError(f"c_ml must be positive, got {c_ml}")
+        if v_from < 0.0 or v_from > self.vdd + 1e-12:
+            raise CircuitError(f"v_from {v_from} V outside [0, vdd]")
+
+
+@dataclass(frozen=True)
+class ClampedPrecharge:
+    """NMOS-follower clamp to a reduced match-line swing.
+
+    Attributes:
+        vdd: Supply the charge is drawn from [V].
+        v_target: Clamped ML voltage (= V_gate_clamp - VT_N) [V].
+        r_device: Follower equivalent resistance [ohm].
+        settle_fraction: Settling criterion, as in full swing.
+    """
+
+    vdd: float
+    v_target: float
+    r_device: float = 6e3
+    settle_fraction: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0.0:
+            raise CircuitError(f"vdd must be positive, got {self.vdd}")
+        if not 0.0 < self.v_target <= self.vdd:
+            raise CircuitError(
+                f"clamp target {self.v_target} V must lie in (0, vdd={self.vdd}]"
+            )
+        if self.r_device <= 0.0:
+            raise CircuitError(f"device resistance must be positive, got {self.r_device}")
+        if not 0.0 < self.settle_fraction < 1.0:
+            raise CircuitError("settle_fraction must be in (0, 1)")
+
+    def target_voltage(self) -> float:
+        """Clamped precharge target [V]."""
+        return self.v_target
+
+    def restore_energy(self, c_ml: float, v_from: float) -> float:
+        """Energy drawn from VDD to restore the clamped swing [J].
+
+        Linear in the ML swing: the follower drops the rest of VDD.
+        """
+        self._check(c_ml, v_from)
+        swing = max(self.v_target - v_from, 0.0)
+        return c_ml * swing * self.vdd
+
+    def restore_time(self, c_ml: float, v_from: float) -> float:
+        """Follower settling time [s]; the follower weakens near the clamp.
+
+        Settled means within ``(1 - settle_fraction) * vdd`` (an absolute
+        band) of the clamp target.  The follower behaves like an RC toward
+        the clamp with roughly 1.5x its nominal resistance averaged over
+        the swing (it starves as VGS collapses near the end).
+        """
+        self._check(c_ml, v_from)
+        band = (1.0 - self.settle_fraction) * self.vdd
+        if v_from >= self.v_target - band:
+            return 0.0
+        return rc_time_to_reach(
+            1.5 * self.r_device, c_ml, v_from, self.v_target, self.v_target - band
+        )
+
+    def _check(self, c_ml: float, v_from: float) -> None:
+        if c_ml <= 0.0:
+            raise CircuitError(f"c_ml must be positive, got {c_ml}")
+        if v_from < 0.0 or v_from > self.vdd + 1e-12:
+            raise CircuitError(f"v_from {v_from} V outside [0, vdd]")

@@ -1,0 +1,55 @@
+"""Interconnect parasitics.
+
+Match lines and search lines are metal wires whose capacitance scales with
+the number of cells they cross.  The per-length numbers below are typical
+intermediate-metal values for a 45/28 nm node (R ~ 1-3 ohm/um, C ~ 0.2
+fF/um) -- the TCAM analysis is sensitive to the *ratio* of wire to device
+capacitance, which these reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CircuitError
+from ..units import FEMTO, MICRO
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Per-length electrical model of one routing layer.
+
+    Attributes:
+        name: Metal layer label.
+        r_per_m: Resistance per metre [ohm/m].
+        c_per_m: Capacitance per metre [F/m].
+    """
+
+    name: str
+    r_per_m: float
+    c_per_m: float
+
+    def __post_init__(self) -> None:
+        if self.r_per_m < 0.0 or self.c_per_m <= 0.0:
+            raise CircuitError(f"{self.name}: non-physical wire constants")
+
+    def resistance(self, length: float) -> float:
+        """Total wire resistance [ohm] for ``length`` metres."""
+        self._check_length(length)
+        return self.r_per_m * length
+
+    def capacitance(self, length: float) -> float:
+        """Total wire capacitance [F] for ``length`` metres."""
+        self._check_length(length)
+        return self.c_per_m * length
+
+    def _check_length(self, length: float) -> None:
+        if length < 0.0:
+            raise CircuitError(f"wire length must be non-negative, got {length}")
+
+
+M2_WIRE = WireModel(name="M2", r_per_m=3.0 / MICRO, c_per_m=0.20 * FEMTO / MICRO)
+"""Tight-pitch lower metal: 3 ohm/um, 0.20 fF/um.  Used for match lines."""
+
+M4_WIRE = WireModel(name="M4", r_per_m=1.2 / MICRO, c_per_m=0.22 * FEMTO / MICRO)
+"""Intermediate metal: 1.2 ohm/um, 0.22 fF/um.  Used for search lines."""

@@ -1,0 +1,277 @@
+"""Command-line interface.
+
+Exposes the library's main analyses without writing Python::
+
+    python -m repro designs
+    python -m repro compare --rows 64 --cols 64 --searches 8
+    python -m repro margin --design fefet2t_lv --swing 0.55
+    python -m repro mc --design fefet2t --samples 500 --sigma-scale 2
+    python -m repro lpm --routes 100 --lookups 200 --design fefet2t_lv
+    python -m repro disturb --scheme V/2 --pulses 10000
+
+Every command prints a table / report to stdout and returns a process
+exit code of 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .analysis.disturb import V_HALF, V_THIRD, DisturbAnalysis
+from .analysis.montecarlo import run_margin_mc
+from .analysis.retention import YEAR_SECONDS, RetentionModel
+from .devices.material import HZO_10NM
+from .core import all_designs, build_array, get_design
+from .core.ml_voltage import margin_at_vml
+from .devices.variability import NOMINAL_VARIATION
+from .reporting.table import Table
+from .tcam import ArrayGeometry
+from .tcam.cells.fefet2t import default_fefet_cell_params
+from .tcam.trit import random_word
+from .units import eng
+from .workloads.iproute import synthetic_routing_table, trace_addresses
+
+
+def _cmd_designs(_args: argparse.Namespace) -> int:
+    table = Table(title="Registered TCAM designs", columns=["key", "sensing", "description"])
+    for spec in all_designs():
+        table.add_row(spec.name, spec.sensing, spec.description)
+    print(table)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    geometry = ArrayGeometry(args.rows, args.cols)
+    words = [random_word(args.cols, rng, x_fraction=args.x_fraction) for _ in range(args.rows)]
+    keys = [random_word(args.cols, rng) for _ in range(args.searches)]
+    table = Table(
+        title=f"Design comparison ({args.rows}x{args.cols}, {args.searches} searches)",
+        columns=["design", "E/search", "E/bit", "delay", "cycle", "errors"],
+    )
+    for spec in all_designs():
+        array = build_array(spec, geometry)
+        array.load(words)
+        energy = 0.0
+        delay = 0.0
+        cycle = 0.0
+        errors = 0
+        for key in keys:
+            out = array.search(key)
+            energy += out.energy_total
+            delay = max(delay, out.search_delay)
+            cycle = max(cycle, out.cycle_time)
+            errors += out.functional_errors
+        mean = energy / args.searches
+        table.add_row(
+            spec.name,
+            eng(mean, "J"),
+            eng(mean / (args.rows * args.cols), "J"),
+            eng(delay, "s"),
+            eng(cycle, "s"),
+            errors,
+        )
+    print(table)
+    return 0
+
+
+def _cmd_margin(args: argparse.Namespace) -> int:
+    spec = get_design(args.design)
+    geometry = ArrayGeometry(args.rows, args.cols)
+    report = margin_at_vml(spec, geometry, args.swing)
+    print(f"design          : {spec.name}")
+    print(f"ML swing        : {report.v_ml:.3f} V")
+    print(f"sense margin    : {report.margin:.4f} V")
+    print(f"guardband       : {report.guardband_sigmas:.1f} sigma")
+    print(f"energy/search   : {eng(report.energy_per_search, 'J')}")
+    print(f"functional      : {report.functional}")
+    return 0
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    spec = get_design(args.design)
+    array = build_array(spec, ArrayGeometry(args.rows, args.cols))
+    variation = NOMINAL_VARIATION.scaled(args.sigma_scale)
+    mc = run_margin_mc(array, variation, n_samples=args.samples, seed=args.seed)
+    print(f"design          : {spec.name}")
+    print(f"samples         : {mc.n_samples}")
+    print(f"margin mean     : {mc.margin_mean:.4f} V")
+    print(f"margin sigma    : {mc.margin_sigma:.4f} V")
+    print(f"margin p1       : {mc.margin_percentile(1):.4f} V")
+    print(f"line failures   : {mc.failure_rate:.4f}")
+    return 0
+
+
+def _cmd_lpm(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    table = synthetic_routing_table(args.routes, rng)
+    rows = 1 << (args.routes - 1).bit_length()
+    array = build_array(get_design(args.design), ArrayGeometry(rows, 32))
+    table.deploy(array)
+    energy = 0.0
+    agreements = 0
+    addresses = trace_addresses(table, args.lookups, rng)
+    for address in addresses:
+        route, outcome = table.lookup_tcam(array, address)
+        oracle = table.lookup_reference(address)
+        energy += outcome.energy_total
+        ok = (route is None and oracle is None) or (
+            route is not None and oracle is not None and route.length == oracle.length
+        )
+        agreements += ok
+    print(f"design          : {args.design}")
+    print(f"routes          : {len(table)} (array {rows}x32)")
+    print(f"lookups         : {len(addresses)}")
+    print(f"oracle agreement: {agreements}/{len(addresses)}")
+    print(f"energy/lookup   : {eng(energy / len(addresses), 'J')}")
+    return 0 if agreements == len(addresses) else 1
+
+
+def _cmd_disturb(args: argparse.Namespace) -> int:
+    scheme = {"V/2": V_HALF, "V/3": V_THIRD}[args.scheme]
+    analysis = DisturbAnalysis(default_fefet_cell_params(), scheme)
+    point = analysis.point(args.pulses)
+    print(f"scheme          : {scheme.name}")
+    print(f"disturb pulses  : {point.n_pulses}")
+    print(f"retention       : {point.retention_fraction:.4f}")
+    print(f"VT shift        : {point.vt_shift:.4f} V")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .core.advisor import WorkloadProfile, advise
+
+    profile = WorkloadProfile(
+        rows=args.rows,
+        cols=args.cols,
+        x_fraction=args.x_fraction,
+        searches_per_second=args.rate,
+        max_latency=args.max_latency,
+        nonvolatile_required=args.nonvolatile,
+    )
+    rec = advise(profile)
+    table = Table(
+        title="Design advisor",
+        columns=["design", "E_total/search", "delay", "status"],
+    )
+    for c in rec.candidates:
+        status = "OK" if c.feasible else f"excluded: {c.excluded_reason}"
+        table.add_row(
+            c.design,
+            eng(c.total_energy_per_search, "J"),
+            eng(c.search_delay, "s"),
+            status,
+        )
+    print(table)
+    print(f"\nrecommended: {rec.best.design}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .reporting.aggregate import write_report
+
+    path = write_report(args.output_dir, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_retention(args: argparse.Namespace) -> int:
+    from .units import celsius_to_kelvin
+
+    model = RetentionModel(HZO_10NM)
+    t_k = celsius_to_kelvin(args.celsius)
+    fraction = model.retention_fraction(args.years * YEAR_SECONDS, t_k)
+    t_loss = model.time_to_loss(0.10, t_k)
+    print(f"temperature     : {args.celsius:.0f} C")
+    print(f"storage time    : {args.years:g} years")
+    print(f"retention       : {fraction:.4f}")
+    if t_loss == float("inf"):
+        print("time to 10% loss: beyond the model horizon")
+    else:
+        print(f"time to 10% loss: {t_loss / YEAR_SECONDS:.3g} years")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-aware ferroelectric TCAM design library",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("designs", help="list the design registry").set_defaults(
+        func=_cmd_designs
+    )
+
+    compare = sub.add_parser("compare", help="compare all designs on one workload")
+    compare.add_argument("--rows", type=int, default=64)
+    compare.add_argument("--cols", type=int, default=64)
+    compare.add_argument("--searches", type=int, default=8)
+    compare.add_argument("--x-fraction", type=float, default=0.3)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
+
+    margin = sub.add_parser("margin", help="sense margin at one ML swing")
+    margin.add_argument("--design", default="fefet2t_lv")
+    margin.add_argument("--swing", type=float, default=0.55)
+    margin.add_argument("--rows", type=int, default=16)
+    margin.add_argument("--cols", type=int, default=64)
+    margin.set_defaults(func=_cmd_margin)
+
+    mc = sub.add_parser("mc", help="Monte-Carlo margin analysis")
+    mc.add_argument("--design", default="fefet2t")
+    mc.add_argument("--samples", type=int, default=500)
+    mc.add_argument("--sigma-scale", type=float, default=1.0)
+    mc.add_argument("--rows", type=int, default=16)
+    mc.add_argument("--cols", type=int, default=64)
+    mc.add_argument("--seed", type=int, default=0)
+    mc.set_defaults(func=_cmd_mc)
+
+    lpm = sub.add_parser("lpm", help="IP longest-prefix-match demo")
+    lpm.add_argument("--design", default="fefet2t_lv")
+    lpm.add_argument("--routes", type=int, default=100)
+    lpm.add_argument("--lookups", type=int, default=200)
+    lpm.add_argument("--seed", type=int, default=0)
+    lpm.set_defaults(func=_cmd_lpm)
+
+    disturb = sub.add_parser("disturb", help="write-disturb accumulation")
+    disturb.add_argument("--scheme", choices=["V/2", "V/3"], default="V/2")
+    disturb.add_argument("--pulses", type=int, default=10000)
+    disturb.set_defaults(func=_cmd_disturb)
+
+    retention = sub.add_parser("retention", help="thermal retention projection")
+    retention.add_argument("--celsius", type=float, default=85.0)
+    retention.add_argument("--years", type=float, default=10.0)
+    retention.set_defaults(func=_cmd_retention)
+
+    report = sub.add_parser("report", help="aggregate benchmark artifacts")
+    report.add_argument("--output-dir", default="benchmarks/output")
+    report.add_argument("--out", default="REPORT.md")
+    report.set_defaults(func=_cmd_report)
+
+    advise_cmd = sub.add_parser("advise", help="recommend a design for a workload")
+    advise_cmd.add_argument("--rows", type=int, default=128)
+    advise_cmd.add_argument("--cols", type=int, default=64)
+    advise_cmd.add_argument("--x-fraction", type=float, default=0.3)
+    advise_cmd.add_argument("--rate", type=float, default=1e8)
+    advise_cmd.add_argument("--max-latency", type=float, default=2e-9)
+    advise_cmd.add_argument("--nonvolatile", action="store_true")
+    advise_cmd.set_defaults(func=_cmd_advise)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

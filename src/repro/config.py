@@ -1,0 +1,59 @@
+"""Global simulation configuration.
+
+A :class:`SimConfig` instance travels explicitly through code that needs
+shared numerical settings (tolerances, default temperature, RNG seeding).
+There is no hidden module-level mutable state: functions that need a
+configuration take one as an argument and fall back to :func:`default_config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .units import T_ROOM
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Bundle of numerical settings shared across analyses.
+
+    Attributes:
+        temperature_k: Ambient temperature used by device models [K].
+        rel_tol: Relative tolerance for iterative solvers.
+        abs_tol_v: Absolute voltage tolerance for transient endpoints [V].
+        time_step: Default transient time step [s].
+        max_transient_steps: Hard cap on transient iterations.
+        seed: Seed used when a caller asks for a fresh generator.
+    """
+
+    temperature_k: float = T_ROOM
+    rel_tol: float = 1e-9
+    abs_tol_v: float = 1e-6
+    time_step: float = 1e-12
+    max_transient_steps: int = 200_000
+    seed: int = 20210301  # DATE 2021 opening day
+
+    def rng(self) -> np.random.Generator:
+        """Return a fresh, deterministically seeded random generator."""
+        return np.random.default_rng(self.seed)
+
+    def with_temperature(self, temperature_k: float) -> "SimConfig":
+        """Return a copy of this config at a different temperature."""
+        return SimConfig(
+            temperature_k=temperature_k,
+            rel_tol=self.rel_tol,
+            abs_tol_v=self.abs_tol_v,
+            time_step=self.time_step,
+            max_transient_steps=self.max_transient_steps,
+            seed=self.seed,
+        )
+
+
+_DEFAULT = SimConfig()
+
+
+def default_config() -> SimConfig:
+    """Return the immutable library-wide default configuration."""
+    return _DEFAULT

@@ -1,0 +1,47 @@
+"""The paper's contribution layer: energy-aware FeTCAM designs.
+
+* :mod:`.designs` -- the named design registry (baselines + Design LV +
+  Design CR) and the factory that instantiates arrays from it,
+* :mod:`.ml_voltage` -- the match-line swing solver behind Design LV,
+* :mod:`.selective` -- technique toggles (SL gating, early termination)
+  and the ablation configuration type,
+* :mod:`.segmentation` -- probe-width optimization for segmented search,
+* :mod:`.dse` -- design-space exploration and Pareto extraction.
+"""
+
+from .designs import (
+    DESIGN_NAMES,
+    DesignSpec,
+    all_designs,
+    build_array,
+    get_design,
+)
+from .ml_voltage import MarginReport, energy_vs_vml, margin_at_vml, minimum_ml_voltage
+from .selective import TechniqueSet, technique_grid
+from .segmentation import SegmentationPlan, expected_survivor_fraction, optimal_probe_width
+from .dse import DesignPoint, ParetoFront, explore
+from .advisor import Candidate, Recommendation, WorkloadProfile, advise
+
+__all__ = [
+    "DesignSpec",
+    "DESIGN_NAMES",
+    "get_design",
+    "all_designs",
+    "build_array",
+    "MarginReport",
+    "margin_at_vml",
+    "minimum_ml_voltage",
+    "energy_vs_vml",
+    "TechniqueSet",
+    "technique_grid",
+    "SegmentationPlan",
+    "expected_survivor_fraction",
+    "optimal_probe_width",
+    "DesignPoint",
+    "ParetoFront",
+    "explore",
+    "WorkloadProfile",
+    "Candidate",
+    "Recommendation",
+    "advise",
+]

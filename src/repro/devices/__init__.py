@@ -1,0 +1,70 @@
+"""Behavioral device models: ferroelectric capacitors, FeFETs, MOSFETs, ReRAM.
+
+This subpackage is the lowest layer of the library.  It replaces the SPICE
+compact models a circuits paper would use (see DESIGN.md, substitution table)
+with behavioral models that preserve the quantities the TCAM energy analysis
+actually consumes: threshold-voltage windows, on/off current ratios, terminal
+capacitances, and write-pulse energetics.
+"""
+
+from .material import FerroMaterial, HZO_10NM
+from .preisach import (
+    Hysteron,
+    PreisachModel,
+    SwitchingPulse,
+    loop_coercive_voltage,
+    remanent_window,
+    saturation_loop,
+)
+from .fefet import FeFET, FeFETParams, FeFETState, WriteResult
+from .mosfet import MOSFET, MOSFETParams, ekv_current, nmos_45nm, pmos_45nm
+from .resistive import ReRAM, ReRAMParams, ReRAMState
+from .variability import (
+    NOMINAL_VARIATION,
+    NO_VARIATION,
+    VariationSample,
+    VariationSpec,
+    pelgrom_sigma,
+    sample_variation,
+    sample_vt_offsets,
+)
+from .temperature import TemperatureModel
+from .landau import LandauKhalatnikov, LKParams
+from .cards import from_card, load_card, save_card, to_card
+
+__all__ = [
+    "FerroMaterial",
+    "HZO_10NM",
+    "Hysteron",
+    "PreisachModel",
+    "SwitchingPulse",
+    "saturation_loop",
+    "loop_coercive_voltage",
+    "remanent_window",
+    "FeFET",
+    "FeFETParams",
+    "FeFETState",
+    "WriteResult",
+    "MOSFET",
+    "MOSFETParams",
+    "ekv_current",
+    "nmos_45nm",
+    "pmos_45nm",
+    "ReRAM",
+    "ReRAMParams",
+    "ReRAMState",
+    "VariationSpec",
+    "VariationSample",
+    "NOMINAL_VARIATION",
+    "NO_VARIATION",
+    "sample_vt_offsets",
+    "sample_variation",
+    "pelgrom_sigma",
+    "TemperatureModel",
+    "LKParams",
+    "LandauKhalatnikov",
+    "to_card",
+    "from_card",
+    "save_card",
+    "load_card",
+]

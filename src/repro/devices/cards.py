@@ -1,0 +1,113 @@
+"""Device cards: JSON (de)serialization of technology parameters.
+
+A *card* is a plain dict with a ``kind`` tag and the dataclass fields of
+one parameter set.  Cards let users keep their own technology definitions
+(a different HZO thickness, a foundry's transistor constants) in version-
+controlled JSON files and load them without touching Python::
+
+    from repro.devices.cards import load_card, save_card
+    save_card("my_fefet.json", FeFETParams(memory_window=1.5))
+    params = load_card("my_fefet.json")
+
+Nested parameter sets (a FeFET's ferroelectric material) serialize
+recursively.  Unknown keys are rejected rather than ignored so a typo in
+a card fails loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+from ..errors import DeviceError
+from .fefet import FeFETParams
+from .material import FerroMaterial
+from .mosfet import MOSFETParams
+from .resistive import ReRAMParams
+
+_KINDS: dict[str, type] = {
+    "ferro_material": FerroMaterial,
+    "fefet": FeFETParams,
+    "mosfet": MOSFETParams,
+    "reram": ReRAMParams,
+}
+_NESTED_FIELDS = {("fefet", "material"): "ferro_material"}
+
+
+def _kind_of(obj: Any) -> str:
+    for kind, cls in _KINDS.items():
+        if isinstance(obj, cls):
+            return kind
+    raise DeviceError(f"no card kind for object of type {type(obj).__name__}")
+
+
+def to_card(obj: Any) -> dict[str, Any]:
+    """Serialize a parameter dataclass to a card dict.
+
+    >>> to_card(FeFETParams())["kind"]
+    'fefet'
+    """
+    kind = _kind_of(obj)
+    card: dict[str, Any] = {"kind": kind}
+    for field in dataclasses.fields(obj):
+        value = getattr(obj, field.name)
+        if (kind, field.name) in _NESTED_FIELDS:
+            card[field.name] = to_card(value)
+        else:
+            card[field.name] = value
+    return card
+
+
+def from_card(card: dict[str, Any]) -> Any:
+    """Reconstruct a parameter dataclass from a card dict.
+
+    Raises:
+        DeviceError: on a missing/unknown ``kind``, unknown keys, or any
+            field validation failure of the target dataclass.
+    """
+    if not isinstance(card, dict) or "kind" not in card:
+        raise DeviceError("a card must be a dict with a 'kind' tag")
+    kind = card["kind"]
+    if kind not in _KINDS:
+        raise DeviceError(
+            f"unknown card kind {kind!r}; known kinds: {', '.join(sorted(_KINDS))}"
+        )
+    cls = _KINDS[kind]
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    kwargs: dict[str, Any] = {}
+    for key, value in card.items():
+        if key == "kind":
+            continue
+        if key not in field_names:
+            raise DeviceError(f"{kind} card has unknown field {key!r}")
+        if (kind, key) in _NESTED_FIELDS:
+            kwargs[key] = from_card(value)
+        else:
+            kwargs[key] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise DeviceError(f"incomplete {kind} card: {exc}") from exc
+
+
+def save_card(path: str | pathlib.Path, obj: Any) -> pathlib.Path:
+    """Write a parameter set as a JSON card; returns the written path."""
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(to_card(obj), indent=2) + "\n")
+    return target
+
+
+def load_card(path: str | pathlib.Path) -> Any:
+    """Load a parameter set from a JSON card file.
+
+    Raises:
+        DeviceError: when the file is not valid JSON or not a valid card.
+    """
+    source = pathlib.Path(path)
+    try:
+        card = json.loads(source.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DeviceError(f"cannot read card {source}: {exc}") from exc
+    return from_card(card)

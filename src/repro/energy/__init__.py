@@ -1,0 +1,11 @@
+"""Energy accounting: ledgers, breakdowns and power integration."""
+
+from .accounting import EnergyComponent, EnergyLedger
+from .power import leakage_energy, switching_energy
+
+__all__ = [
+    "EnergyComponent",
+    "EnergyLedger",
+    "switching_energy",
+    "leakage_energy",
+]

@@ -1,0 +1,113 @@
+"""Per-component energy ledger.
+
+Every array operation returns an :class:`EnergyLedger` that attributes each
+joule to a named component (``ml_precharge``, ``sl``, ``sa``...).  Ledgers
+add, merge and scale; the breakdown benchmark (R-F7) is a direct read-out
+of one.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+
+from ..errors import ReproError
+
+
+class EnergyComponent(str, enum.Enum):
+    """Canonical component names used by the TCAM accounting."""
+
+    ML_PRECHARGE = "ml_precharge"
+    ML_DISSIPATION = "ml_dissipation"
+    SEARCHLINE = "sl"
+    SENSE_AMP = "sa"
+    RACE_SOURCE = "race_source"
+    PRIORITY_ENCODER = "priority_encoder"
+    LEAKAGE = "leakage"
+    WRITE = "write"
+    CLOCK = "clock"
+
+
+class EnergyLedger:
+    """Additive map from component name to joules.
+
+    Components may be :class:`EnergyComponent` members or free-form strings
+    (for ad-hoc experiments); they are normalized to strings internally.
+
+    >>> led = EnergyLedger()
+    >>> led.add(EnergyComponent.SEARCHLINE, 1e-15)
+    >>> led.add("sl", 2e-15)
+    >>> round(led.total * 1e15, 3)
+    3.0
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[str, float] | None = None) -> None:
+        self._entries: dict[str, float] = {}
+        if entries:
+            for name, joules in entries.items():
+                self.add(name, joules)
+
+    @staticmethod
+    def _key(component: EnergyComponent | str) -> str:
+        return component.value if isinstance(component, EnergyComponent) else str(component)
+
+    def add(self, component: EnergyComponent | str, joules: float) -> None:
+        """Accumulate ``joules`` under ``component``.
+
+        Raises:
+            ReproError: for negative or non-finite energy.
+        """
+        if not joules >= 0.0:  # also catches NaN
+            raise ReproError(f"energy must be non-negative and finite, got {joules}")
+        key = self._key(component)
+        self._entries[key] = self._entries.get(key, 0.0) + joules
+
+    def get(self, component: EnergyComponent | str) -> float:
+        """Energy booked under ``component`` so far [J] (0.0 if absent)."""
+        return self._entries.get(self._key(component), 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over all components [J]."""
+        return sum(self._entries.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Copy of the component map, largest first."""
+        return dict(sorted(self._entries.items(), key=lambda kv: -kv[1]))
+
+    def fractions(self) -> dict[str, float]:
+        """Breakdown normalized to the total (empty ledger -> empty dict)."""
+        total = self.total
+        if total == 0.0:
+            return {}
+        return {k: v / total for k, v in self.breakdown().items()}
+
+    def merge(self, other: "EnergyLedger") -> None:
+        """Add every component of ``other`` into this ledger."""
+        for name, joules in other._entries.items():
+            self.add(name, joules)
+
+    def scaled(self, factor: float) -> "EnergyLedger":
+        """Return a new ledger with every entry multiplied by ``factor``."""
+        if factor < 0.0:
+            raise ReproError(f"scale factor must be non-negative, got {factor}")
+        return EnergyLedger({k: v * factor for k, v in self._entries.items()})
+
+    def __add__(self, other: "EnergyLedger") -> "EnergyLedger":
+        out = EnergyLedger(self._entries)
+        out.merge(other)
+        return out
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:.3e}" for k, v in self.breakdown().items())
+        return f"EnergyLedger({parts})"
+
+    @classmethod
+    def sum(cls, ledgers: Iterable["EnergyLedger"]) -> "EnergyLedger":
+        """Merge an iterable of ledgers into a fresh one."""
+        out = cls()
+        for ledger in ledgers:
+            out.merge(ledger)
+        return out

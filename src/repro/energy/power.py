@@ -1,0 +1,27 @@
+"""Elementary power/energy formulas shared by the accounting code."""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+def switching_energy(capacitance: float, v_swing: float, v_supply: float | None = None) -> float:
+    """Energy drawn from the supply to swing C by ``v_swing`` [J].
+
+    With ``v_supply`` omitted the full-swing case ``C * V^2`` is returned.
+    """
+    if capacitance < 0.0:
+        raise ReproError(f"capacitance must be non-negative, got {capacitance}")
+    if v_swing < 0.0:
+        raise ReproError(f"voltage swing must be non-negative, got {v_swing}")
+    supply = v_swing if v_supply is None else v_supply
+    if supply < 0.0:
+        raise ReproError(f"supply must be non-negative, got {supply}")
+    return capacitance * v_swing * supply
+
+
+def leakage_energy(i_leak: float, vdd: float, duration: float) -> float:
+    """Static energy ``I * V * t`` [J]."""
+    if i_leak < 0.0 or vdd < 0.0 or duration < 0.0:
+        raise ReproError("leakage parameters must be non-negative")
+    return i_leak * vdd * duration

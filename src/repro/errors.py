@@ -1,0 +1,40 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so callers can catch
+everything the library raises with a single ``except`` clause while still
+being able to distinguish the layer that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class DeviceError(ReproError):
+    """A device model was driven outside its validity range or misconfigured."""
+
+
+class CircuitError(ReproError):
+    """A circuit-level model (RC network, match line, sense amp) failed."""
+
+
+class TCAMError(ReproError):
+    """Array/cell-level misuse: bad word widths, unknown trits, etc."""
+
+
+class CapacityError(TCAMError):
+    """An array or bank ran out of rows while loading a workload."""
+
+
+class DesignError(ReproError):
+    """An energy-aware design was configured inconsistently."""
+
+
+class AnalysisError(ReproError):
+    """Monte-Carlo / sweep / margin analysis could not be completed."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters or input data."""

@@ -1,0 +1,6 @@
+"""Report emitters: ASCII tables and figure-series containers."""
+
+from .table import Table
+from .series import FigureSeries
+
+__all__ = ["Table", "FigureSeries"]

@@ -1,0 +1,64 @@
+"""Aggregate benchmark artifacts into a single report.
+
+Every experiment benchmark writes its table/series to
+``benchmarks/output/<id>.txt``.  :func:`aggregate_report` stitches those
+files into one markdown document (ordered by experiment id, figures and
+tables interleaved the way DESIGN.md indexes them), so a full evaluation
+run ends with one reviewable artifact::
+
+    pytest benchmarks/ --benchmark-only
+    python -m repro report --output-dir benchmarks/output --out REPORT.md
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from ..errors import ReproError
+
+_ID_PATTERN = re.compile(r"^R-([FT])(\d+)")
+
+
+def _sort_key(path: pathlib.Path) -> tuple[int, int, str]:
+    """Order: figures and tables by number, figures first on ties."""
+    match = _ID_PATTERN.match(path.stem)
+    if not match:
+        return (99, 0, path.stem)
+    kind = 0 if match.group(1) == "F" else 1
+    return (kind, int(match.group(2)), path.stem)
+
+
+def aggregate_report(output_dir: str | pathlib.Path, title: str = "Benchmark report") -> str:
+    """Merge every ``*.txt`` artifact under ``output_dir`` into markdown.
+
+    Raises:
+        ReproError: when the directory is missing or holds no artifacts.
+    """
+    directory = pathlib.Path(output_dir)
+    if not directory.is_dir():
+        raise ReproError(f"artifact directory {directory} does not exist")
+    artifacts = sorted(directory.glob("*.txt"), key=_sort_key)
+    if not artifacts:
+        raise ReproError(f"no artifacts found under {directory}")
+
+    parts = [f"# {title}", "", f"{len(artifacts)} experiment artifacts.", ""]
+    for path in artifacts:
+        parts.append(f"## {path.stem}")
+        parts.append("")
+        parts.append("```")
+        parts.append(path.read_text().rstrip())
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(
+    output_dir: str | pathlib.Path,
+    out_path: str | pathlib.Path,
+    title: str = "Benchmark report",
+) -> pathlib.Path:
+    """Aggregate and write the report; returns the written path."""
+    target = pathlib.Path(out_path)
+    target.write_text(aggregate_report(output_dir, title) + "\n")
+    return target

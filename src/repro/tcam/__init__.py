@@ -1,0 +1,61 @@
+"""TCAM cells, arrays and banks.
+
+The layer stack:
+
+* :mod:`.trit` -- ternary values, words and match algebra,
+* :mod:`.cell` -- the electrical cell descriptor protocol,
+* :mod:`.cells` -- one descriptor per technology (CMOS 16T, 2T-2R ReRAM,
+  2-FeFET, and the two energy-aware FeFET variants),
+* :mod:`.array` -- a rows x cols array executing searches and writes with
+  full energy/delay accounting,
+* :mod:`.bank` -- segmented/hierarchical search built from arrays,
+* :mod:`.priority` -- match reduction (priority encoding),
+* :mod:`.area` -- lambda-rule area estimates.
+"""
+
+from .trit import Trit, TernaryWord, random_word, word_from_string
+from .cell import CellDescriptor, WriteCost
+from .area import TechNode, TECH_45NM, cell_dimensions
+from .array import (
+    ArrayGeometry,
+    NearestMatchOutcome,
+    SearchOutcome,
+    TCAMArray,
+    WriteOutcome,
+)
+from .bank import HierarchicalBank, SegmentedBank, SegmentedSearchOutcome
+from .nand_array import NANDTCAMArray
+from .weighted import DistanceSearchOutcome, WeightedTCAMArray
+from .chip import GatingPolicy, TCAMChip
+from .priority import MatchReducer, PriorityEncoder
+from .writer import WearLevelingScheduler, WritePlan, WriteScheduler
+
+__all__ = [
+    "Trit",
+    "TernaryWord",
+    "random_word",
+    "word_from_string",
+    "CellDescriptor",
+    "WriteCost",
+    "TechNode",
+    "TECH_45NM",
+    "cell_dimensions",
+    "TCAMArray",
+    "ArrayGeometry",
+    "SearchOutcome",
+    "NearestMatchOutcome",
+    "WriteOutcome",
+    "SegmentedBank",
+    "HierarchicalBank",
+    "SegmentedSearchOutcome",
+    "NANDTCAMArray",
+    "WeightedTCAMArray",
+    "DistanceSearchOutcome",
+    "TCAMChip",
+    "GatingPolicy",
+    "PriorityEncoder",
+    "MatchReducer",
+    "WriteScheduler",
+    "WearLevelingScheduler",
+    "WritePlan",
+]

@@ -1,0 +1,665 @@
+"""The TCAM array: search and write with full energy/delay accounting.
+
+A :class:`TCAMArray` holds ``rows`` ternary words of ``cols`` trits in a
+given cell technology and executes the two TCAM operations:
+
+* :meth:`TCAMArray.search` -- parallel compare of a key against every row.
+  Rows are grouped by their mismatch count (all rows with ``n`` conducting
+  cells share identical match-line dynamics), each group's ML trajectory is
+  integrated once, and the per-component energies are booked into an
+  :class:`~repro.energy.accounting.EnergyLedger`.
+* :meth:`TCAMArray.write` -- replace one stored word, paying the cell
+  technology's per-trit transition costs.
+
+Two sensing styles are supported (``sensing="precharge"`` and
+``sensing="current_race"``), covering the conventional NOR scheme and the
+precharge-free scheme of Design CR.  The match decision is *physical*: the
+sensed ML voltage is compared by the sense amplifier, so an under-margined
+configuration really does return wrong matches (exploited by the failure-
+injection tests and the Monte-Carlo yield analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.matchline import MatchLine, MatchLineLoad
+from ..circuits.precharge import FullSwingPrecharge, PrechargeScheme
+from ..circuits.searchline import SearchLine, count_toggles
+from ..circuits.senseamp import CurrentRaceSenseAmp, VoltageSenseAmp
+from ..circuits.wire import M2_WIRE, M4_WIRE, WireModel
+from ..energy.accounting import EnergyComponent, EnergyLedger
+from ..errors import TCAMError
+from .area import TECH_45NM, TechNode, cell_dimensions
+from .cell import CellDescriptor
+from .priority import PriorityEncoder
+from .trit import TernaryWord, Trit, drive_vector, mismatch_counts
+
+_SENSING_STYLES = ("precharge", "current_race")
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Physical shape of an array.
+
+    Attributes:
+        rows: Number of stored words.
+        cols: Trits per word.
+        node: Technology node (sets feature size and nominal VDD).
+    """
+
+    rows: int
+    cols: int
+    node: TechNode = TECH_45NM
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise TCAMError(f"array must be at least 1x1, got {self.rows}x{self.cols}")
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Everything one search returns.
+
+    Attributes:
+        match_mask: Per-row physical match verdicts (invalid rows masked).
+        first_match: Lowest matching row index, or ``None``.
+        energy: Per-component energy ledger for this search [J].
+        search_delay: Key-to-result latency [s].
+        cycle_time: Minimum time before the next search can issue [s]
+            (includes ML restore for precharge-style sensing).
+        miss_histogram: ``{mismatch_count: row_count}`` over valid rows.
+        functional_errors: Rows whose physical verdict disagrees with the
+            logical ternary match (0 in a healthy design).
+    """
+
+    match_mask: np.ndarray
+    first_match: int | None
+    energy: EnergyLedger
+    search_delay: float
+    cycle_time: float
+    miss_histogram: dict[int, int]
+    functional_errors: int
+
+    @property
+    def energy_total(self) -> float:
+        """Total search energy [J]."""
+        return self.energy.total
+
+
+@dataclass(frozen=True)
+class NearestMatchOutcome:
+    """Result of an approximate (best-match) search.
+
+    Attributes:
+        row: Row with the fewest mismatching cells, or ``None`` when the
+            array holds no valid rows.
+        distance: That row's mismatch count.
+        energy: Ledger for the operation [J].
+        search_delay: Time until the winner is distinguishable [s].
+    """
+
+    row: int | None
+    distance: int
+    energy: EnergyLedger
+    search_delay: float
+
+
+@dataclass(frozen=True)
+class WriteOutcome:
+    """Result of writing one word.
+
+    Attributes:
+        row: Row written.
+        energy: Ledger holding the write energy.
+        latency: Write latency [s] (cells within a word write in parallel).
+        cells_changed: Number of cells whose trit actually changed.
+    """
+
+    row: int
+    energy: EnergyLedger
+    latency: float
+    cells_changed: int
+
+
+class TCAMArray:
+    """One TCAM array instance.
+
+    Args:
+        cell: Electrical descriptor of the cell technology.
+        geometry: Rows/cols/node.
+        sensing: ``"precharge"`` (NOR, precharge-high) or
+            ``"current_race"`` (precharge-free, Design CR).
+        vdd: Array supply [V]; defaults to the node's nominal.
+        precharge: Precharge scheme for precharge-style sensing; defaults
+            to a full-swing scheme at ``vdd``.
+        sense_amp: Voltage sense amp; defaults to a latch referenced at
+            half the precharge target.
+        race_amp: Current-race sense amp for ``current_race`` sensing.
+        t_eval: Evaluation window [s]; defaults to 2x the worst-case
+            single-mismatch discharge time (a standard timing margin).
+        ml_wire: Match-line routing layer.
+        sl_wire: Search-line routing layer.
+        encoder: Priority encoder; defaults to one sized for ``rows``.
+    """
+
+    def __init__(
+        self,
+        cell: CellDescriptor,
+        geometry: ArrayGeometry,
+        *,
+        sensing: str = "precharge",
+        vdd: float | None = None,
+        precharge: PrechargeScheme | None = None,
+        sense_amp: VoltageSenseAmp | None = None,
+        race_amp: CurrentRaceSenseAmp | None = None,
+        t_eval: float | None = None,
+        ml_wire: WireModel = M2_WIRE,
+        sl_wire: WireModel = M4_WIRE,
+        encoder: PriorityEncoder | None = None,
+    ) -> None:
+        if sensing not in _SENSING_STYLES:
+            raise TCAMError(f"sensing must be one of {_SENSING_STYLES}, got {sensing!r}")
+        self.cell = cell
+        self.geometry = geometry
+        self.sensing = sensing
+        self.vdd = vdd if vdd is not None else geometry.node.vdd_nominal
+        if self.vdd <= 0.0:
+            raise TCAMError(f"vdd must be positive, got {self.vdd}")
+
+        rows, cols = geometry.rows, geometry.cols
+        self._stored = np.full((rows, cols), int(Trit.X), dtype=np.int8)
+        self._valid = np.zeros(rows, dtype=bool)
+        self._write_counts = np.zeros((rows, cols), dtype=np.int64)
+        self._last_drive: tuple[int, ...] | None = None
+
+        cell_w, cell_h = cell_dimensions(cell.area_f2, geometry.node)
+        self.cell_width = cell_w
+        self.cell_height = cell_h
+
+        # Sensing chain -----------------------------------------------------
+        if sensing == "precharge":
+            self.precharge = precharge if precharge is not None else FullSwingPrecharge(self.vdd)
+            v_pre = self.precharge.target_voltage()
+            self.sense_amp = (
+                sense_amp if sense_amp is not None else VoltageSenseAmp(v_ref=0.5 * v_pre, vdd=self.vdd)
+            )
+            if not 0.0 < self.sense_amp.v_ref < v_pre:
+                raise TCAMError(
+                    f"sense reference {self.sense_amp.v_ref} V outside (0, {v_pre}) V"
+                )
+            self.race_amp = None
+            sa_input_cap = self.sense_amp.input_capacitance
+        else:
+            self.race_amp = race_amp if race_amp is not None else CurrentRaceSenseAmp(vdd=self.vdd)
+            self.precharge = None
+            self.sense_amp = None
+            sa_input_cap = self.race_amp.input_capacitance
+
+        # Match-line capacitance ---------------------------------------------
+        ml_length = cols * cell_w
+        self.c_ml = (
+            cols * cell.c_ml_per_cell
+            + ml_wire.capacitance(ml_length)
+            + sa_input_cap
+            + 0.1e-15  # precharge / race-source device junction
+        )
+        self._ml_wire = ml_wire
+
+        # Search lines -------------------------------------------------------
+        self.search_line = SearchLine(
+            n_rows=rows,
+            c_gate_per_cell=cell.c_sl_gate_per_cell,
+            cell_pitch=cell_h,
+            wire=sl_wire,
+        )
+        self._sl_r_driver = 2.0e3  # sized driver for the SL RC
+        self.encoder = encoder if encoder is not None else PriorityEncoder(rows)
+
+        # Evaluation window ---------------------------------------------------
+        if sensing == "precharge":
+            self.t_eval = t_eval if t_eval is not None else self._default_t_eval()
+            if self.t_eval <= 0.0:
+                raise TCAMError(f"t_eval must be positive, got {self.t_eval}")
+        else:
+            self.t_eval = self.race_amp.cutoff_time(self.c_ml)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    def _default_t_eval(self) -> float:
+        """2x the single-mismatch crossing time (worst-case row)."""
+        load = MatchLineLoad(
+            capacitance=self.c_ml,
+            n_miss=1,
+            n_match=self.geometry.cols - 1,
+            i_pulldown=self.cell.i_pulldown,
+            i_leak=self.cell.i_leak,
+        )
+        line = MatchLine(load, self.precharge.target_voltage(), self.vdd)
+        t_cross = line.time_to(self.sense_amp.v_ref)
+        if not np.isfinite(t_cross):
+            raise TCAMError(
+                "single-mismatch line never crosses the sense reference; "
+                "the cell's pull-down is too weak for this configuration"
+            )
+        return 2.0 * t_cross
+
+    @property
+    def rows(self) -> int:
+        """Number of stored words."""
+        return self.geometry.rows
+
+    @property
+    def cols(self) -> int:
+        """Trits per word."""
+        return self.geometry.cols
+
+    @property
+    def sl_settle_delay(self) -> float:
+        """Search-line settling delay [s]."""
+        return self.search_line.settle_delay(self._sl_r_driver)
+
+    def stored_matrix(self) -> np.ndarray:
+        """Copy of the stored trit encodings (rows x cols int8)."""
+        return self._stored.copy()
+
+    def word_at(self, row: int) -> TernaryWord:
+        """The stored word at ``row``."""
+        self._check_row(row)
+        return TernaryWord(self._stored[row])
+
+    def valid_mask(self) -> np.ndarray:
+        """Copy of the per-row valid bits."""
+        return self._valid.copy()
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.geometry.rows:
+            raise TCAMError(f"row {row} outside [0, {self.geometry.rows})")
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def write(self, row: int, word: TernaryWord) -> WriteOutcome:
+        """Store ``word`` at ``row``, paying per-cell transition costs."""
+        self._check_row(row)
+        if len(word) != self.geometry.cols:
+            raise TCAMError(
+                f"word width {len(word)} does not match array cols {self.geometry.cols}"
+            )
+        ledger = EnergyLedger()
+        latency = 0.0
+        changed = 0
+        new = word.as_array()
+        for col in range(self.geometry.cols):
+            old_trit = Trit(int(self._stored[row, col]))
+            new_trit = Trit(int(new[col]))
+            cost = self.cell.write_cost(old_trit, new_trit)
+            ledger.add(EnergyComponent.WRITE, cost.energy)
+            latency = max(latency, cost.latency)
+            if old_trit is not new_trit:
+                changed += 1
+                self._write_counts[row, col] += 1
+        self._stored[row] = new
+        self._valid[row] = True
+        return WriteOutcome(row=row, energy=ledger, latency=latency, cells_changed=changed)
+
+    def invalidate(self, row: int) -> None:
+        """Remove ``row`` from match participation (erase to all-X)."""
+        self._check_row(row)
+        self._stored[row] = int(Trit.X)
+        self._valid[row] = False
+
+    def load(self, words: list[TernaryWord], start_row: int = 0) -> EnergyLedger:
+        """Write a batch of words into consecutive rows; return total energy."""
+        if start_row + len(words) > self.geometry.rows:
+            raise TCAMError(
+                f"cannot load {len(words)} words at row {start_row} into "
+                f"{self.geometry.rows} rows"
+            )
+        ledger = EnergyLedger()
+        for offset, word in enumerate(words):
+            ledger.merge(self.write(start_row + offset, word).energy)
+        return ledger
+
+    # ------------------------------------------------------------------
+    # Search path
+    # ------------------------------------------------------------------
+
+    def search(self, key: TernaryWord, row_mask: np.ndarray | None = None) -> SearchOutcome:
+        """Execute one search and account its energy and timing.
+
+        Args:
+            key: Search key (may contain X columns, which are masked).
+            row_mask: Optional per-row evaluation mask.  Rows outside the
+                mask are not precharged, not sensed and cannot match --
+                the selective-precharge mechanism used by
+                :class:`~repro.tcam.bank.SegmentedBank`.
+        """
+        if len(key) != self.geometry.cols:
+            raise TCAMError(
+                f"key width {len(key)} does not match array cols {self.geometry.cols}"
+            )
+        if row_mask is None:
+            active = np.ones(self.geometry.rows, dtype=bool)
+        else:
+            active = np.asarray(row_mask, dtype=bool)
+            if active.shape != (self.geometry.rows,):
+                raise TCAMError(
+                    f"row_mask must have shape ({self.geometry.rows},), got {active.shape}"
+                )
+        key_arr = key.as_array()
+        driven_cols = int(np.count_nonzero(key_arr != int(Trit.X)))
+        miss = mismatch_counts(self._stored, key_arr)
+        logical_match = (miss == 0) & self._valid & active
+
+        ledger = EnergyLedger()
+        self._book_searchline_energy(ledger, key)
+
+        if self.sensing == "precharge":
+            physical_match, t_sense, t_cycle = self._search_precharge(
+                ledger, miss, driven_cols, active
+            )
+        else:
+            physical_match, t_sense, t_cycle = self._search_race(
+                ledger, miss, driven_cols, active
+            )
+
+        # Priority encoding --------------------------------------------------
+        ledger.add(EnergyComponent.PRIORITY_ENCODER, self.encoder.energy_per_search)
+        effective = physical_match & self._valid
+        first = self.encoder.encode(effective)
+
+        search_delay = self.sl_settle_delay + t_sense + self.encoder.delay
+        cycle_time = self.sl_settle_delay + t_cycle
+
+        # Standby leakage over the cycle ----------------------------------------
+        leak = (
+            self.geometry.rows
+            * self.geometry.cols
+            * self.cell.standby_leakage(self.vdd)
+            * self.vdd
+            * cycle_time
+        )
+        ledger.add(EnergyComponent.LEAKAGE, leak)
+
+        histogram: dict[int, int] = {}
+        for n in miss[self._valid]:
+            histogram[int(n)] = histogram.get(int(n), 0) + 1
+        errors = int(np.count_nonzero(effective != logical_match))
+        return SearchOutcome(
+            match_mask=effective,
+            first_match=first,
+            energy=ledger,
+            search_delay=search_delay,
+            cycle_time=cycle_time,
+            miss_histogram=dict(sorted(histogram.items())),
+            functional_errors=errors,
+        )
+
+    # -- search-line booking -------------------------------------------------
+
+    def _book_searchline_energy(self, ledger: EnergyLedger, key: TernaryWord) -> None:
+        drive = drive_vector(key)
+        if self._last_drive is None:
+            previous = tuple(0 for _ in drive)
+        else:
+            previous = self._last_drive
+        toggles = count_toggles(previous, drive)
+        v_sl = self.cell.v_search
+        ledger.add(EnergyComponent.SEARCHLINE, toggles * self.search_line.toggle_energy(v_sl))
+        self._last_drive = drive
+
+    # -- precharge-style sensing ------------------------------------------------
+
+    def _search_precharge(
+        self, ledger: EnergyLedger, miss: np.ndarray, driven_cols: int, active: np.ndarray
+    ) -> tuple[np.ndarray, float, float]:
+        v_pre = self.precharge.target_voltage()
+        rows = self.geometry.rows
+        physical = np.zeros(rows, dtype=bool)
+        idx_active = np.flatnonzero(active)
+        if idx_active.size == 0:
+            return physical, self.t_eval, self.t_eval
+
+        miss_active = miss[idx_active]
+        unique, counts = np.unique(miss_active, return_counts=True)
+        t_sa_max = 0.0
+        t_restore_max = 0.0
+        for n_miss, n_rows in zip(unique, counts):
+            v_end = self._ml_voltage_after_eval(int(n_miss), driven_cols, v_pre)
+            decision = self.sense_amp.strobe(v_end)
+            physical[idx_active[miss_active == n_miss]] = decision.is_match
+
+            e_restore = self.precharge.restore_energy(self.c_ml, v_end)
+            e_diss = 0.5 * self.c_ml * (v_pre**2 - v_end**2)
+            ledger.add(EnergyComponent.ML_PRECHARGE, float(n_rows) * e_restore)
+            ledger.add(EnergyComponent.ML_DISSIPATION, float(n_rows) * e_diss)
+            ledger.add(EnergyComponent.SENSE_AMP, float(n_rows) * decision.energy)
+            t_sa_max = max(t_sa_max, decision.delay)
+            t_restore_max = max(t_restore_max, self.precharge.restore_time(self.c_ml, v_end))
+
+        t_sense = self.t_eval + t_sa_max
+        t_cycle = t_sense + t_restore_max
+        return physical, t_sense, t_cycle
+
+    def _ml_voltage_after_eval(self, n_miss: int, driven_cols: int, v_pre: float) -> float:
+        n_match = driven_cols - n_miss
+        if n_miss < 0 or n_match < 0:
+            raise TCAMError("inconsistent mismatch accounting")
+        if n_miss + n_match == 0:
+            return v_pre  # fully masked key: nothing can discharge the line
+        load = MatchLineLoad(
+            capacitance=self.c_ml,
+            n_miss=n_miss,
+            n_match=n_match,
+            i_pulldown=self.cell.i_pulldown,
+            i_leak=self.cell.i_leak,
+        )
+        line = MatchLine(load, v_pre, self.vdd)
+        return line.voltage_after(self.t_eval)
+
+    # -- current-race sensing ------------------------------------------------------
+
+    def _search_race(
+        self, ledger: EnergyLedger, miss: np.ndarray, driven_cols: int, active: np.ndarray
+    ) -> tuple[np.ndarray, float, float]:
+        rows = self.geometry.rows
+        physical = np.zeros(rows, dtype=bool)
+        race = self.race_amp
+        v_trip = race.v_trip
+        idx_active = np.flatnonzero(active)
+        if idx_active.size == 0:
+            return physical, race.t_window, race.t_window
+
+        miss_active = miss[idx_active]
+        unique, counts = np.unique(miss_active, return_counts=True)
+        t_max = 0.0
+        for n_miss, n_rows in zip(unique, counts):
+            n_match = driven_cols - int(n_miss)
+            i_total = int(n_miss) * self.cell.i_pulldown(v_trip) + n_match * self.cell.i_leak(
+                v_trip
+            )
+            decision = race.evaluate(self.c_ml, i_total)
+            physical[idx_active[miss_active == n_miss]] = decision.is_match
+            ledger.add(EnergyComponent.RACE_SOURCE, float(n_rows) * decision.energy)
+            t_max = max(t_max, decision.delay)
+
+        # Matched lines were charged to the trip point and reset to ground;
+        # the reset burns the stored charge but draws nothing new.
+        cutoff = race.cutoff_time(self.c_ml)
+        t_sense = cutoff
+        t_cycle = 1.2 * cutoff  # reset phase
+        return physical, t_sense, t_cycle
+
+    # ------------------------------------------------------------------
+    # Approximate search (associative-memory mode, used by the HDC workload)
+    # ------------------------------------------------------------------
+
+    def nearest_match(self, key: TernaryWord) -> NearestMatchOutcome:
+        """Best-match search: the row with the fewest mismatching cells.
+
+        Physically this is time-domain sensing: every match line is
+        precharged and released, and the *last* line to cross the sense
+        reference (or the one that never does) is the winner, since lines
+        discharge faster the more pull-downs they carry.  The evaluation
+        window therefore extends until the winner is separable from the
+        runner-up, and every line with at least one mismatch fully
+        discharges -- which is why associative-memory mode costs more per
+        search than exact-match mode.
+
+        Only supported for precharge-style sensing.
+        """
+        if self.sensing != "precharge":
+            raise TCAMError("nearest_match() requires precharge-style sensing")
+        if len(key) != self.geometry.cols:
+            raise TCAMError(
+                f"key width {len(key)} does not match array cols {self.geometry.cols}"
+            )
+        key_arr = key.as_array()
+        driven_cols = int(np.count_nonzero(key_arr != int(Trit.X)))
+        miss = mismatch_counts(self._stored, key_arr)
+
+        ledger = EnergyLedger()
+        self._book_searchline_energy(ledger, key)
+
+        valid_idx = np.flatnonzero(self._valid)
+        if valid_idx.size == 0:
+            return NearestMatchOutcome(None, 0, ledger, self.sl_settle_delay)
+        best_pos = int(valid_idx[np.argmin(miss[valid_idx])])
+        best_distance = int(miss[best_pos])
+
+        v_pre = self.precharge.target_voltage()
+        # Window: long enough for the runner-up distance class to cross.
+        runner_up = best_distance + 1
+        if runner_up <= driven_cols and runner_up > 0:
+            load = MatchLineLoad(
+                capacitance=self.c_ml,
+                n_miss=runner_up,
+                n_match=max(driven_cols - runner_up, 0),
+                i_pulldown=self.cell.i_pulldown,
+                i_leak=self.cell.i_leak,
+            )
+            t_window = MatchLine(load, v_pre, self.vdd).time_to(self.sense_amp.v_ref)
+            if not np.isfinite(t_window):
+                t_window = self.t_eval
+        else:
+            t_window = self.t_eval
+
+        # Every line with miss > best fully discharges; the winner class
+        # droops only.  Restore costs follow.
+        n_losers = int(np.count_nonzero(miss[valid_idx] > best_distance))
+        n_winners = int(valid_idx.size - n_losers)
+        e_full = self.precharge.restore_energy(self.c_ml, 0.0)
+        ledger.add(EnergyComponent.ML_PRECHARGE, n_losers * e_full)
+        ledger.add(EnergyComponent.ML_DISSIPATION, n_losers * 0.5 * self.c_ml * v_pre**2)
+        if best_distance == 0:
+            v_winner = self._ml_voltage_after_eval(0, driven_cols, v_pre)
+        else:
+            v_winner = 0.0  # the winner itself also discharges, just last
+            ledger.add(EnergyComponent.ML_DISSIPATION, n_winners * 0.5 * self.c_ml * v_pre**2)
+        ledger.add(
+            EnergyComponent.ML_PRECHARGE,
+            n_winners * self.precharge.restore_energy(self.c_ml, v_winner),
+        )
+        ledger.add(
+            EnergyComponent.SENSE_AMP,
+            valid_idx.size * self.sense_amp.c_internal * self.vdd**2,
+        )
+        ledger.add(EnergyComponent.PRIORITY_ENCODER, self.encoder.energy_per_search)
+
+        delay = self.sl_settle_delay + t_window + self.encoder.delay
+        ledger.add(EnergyComponent.LEAKAGE, self.standby_power() * delay)
+        return NearestMatchOutcome(best_pos, best_distance, ledger, delay)
+
+    # ------------------------------------------------------------------
+    # Static characterization helpers (used by benches and analyses)
+    # ------------------------------------------------------------------
+
+    def sense_margin(self) -> float:
+        """Worst-case V(match) - V(1-mismatch) at the strobe instant [V].
+
+        Only meaningful for precharge-style sensing.
+        """
+        if self.sensing != "precharge":
+            raise TCAMError("sense_margin() applies to precharge-style sensing only")
+        v_pre = self.precharge.target_voltage()
+        cols = self.geometry.cols
+        v_match = self._ml_voltage_after_eval(0, cols, v_pre)
+        v_miss = self._ml_voltage_after_eval(1, cols, v_pre)
+        return v_match - v_miss
+
+    def standby_power(self) -> float:
+        """Array standby power [W] at the configured supply."""
+        return (
+            self.geometry.rows
+            * self.geometry.cols
+            * self.cell.standby_leakage(self.vdd)
+            * self.vdd
+        )
+
+    def occupancy(self) -> float:
+        """Fraction of rows holding valid entries."""
+        return float(np.count_nonzero(self._valid)) / self.geometry.rows
+
+    def x_density(self) -> float:
+        """Fraction of X trits among the valid rows (0.0 when empty)."""
+        valid_rows = self._stored[self._valid]
+        if valid_rows.size == 0:
+            return 0.0
+        return float(np.mean(valid_rows == int(Trit.X)))
+
+    def pipelined_cycle_time(self) -> float:
+        """Cycle time with SL drive, evaluation and restore overlapped [s].
+
+        A pipelined TCAM drives the next key's search lines while the
+        previous search's match lines restore, so the issue rate is set by
+        the slowest *stage* rather than their sum.  Only meaningful for
+        precharge-style sensing (the restore stage exists there).
+        """
+        if self.sensing != "precharge":
+            raise TCAMError("pipelined cycle time applies to precharge sensing")
+        v_pre = self.precharge.target_voltage()
+        t_restore = self.precharge.restore_time(self.c_ml, 0.0)  # worst case
+        stages = (self.sl_settle_delay, self.t_eval, t_restore)
+        return max(stages)
+
+    # ------------------------------------------------------------------
+    # Wear / endurance
+    # ------------------------------------------------------------------
+
+    def wear_counts(self) -> np.ndarray:
+        """Per-cell state-change counts since construction (rows x cols)."""
+        return self._write_counts.copy()
+
+    def wear_report(self) -> dict[str, float]:
+        """Summary of accumulated cell wear.
+
+        Returns:
+            ``max``, ``mean`` and ``total`` state changes, plus the
+            hottest cell's coordinates packed as ``hot_row``/``hot_col``.
+        """
+        counts = self._write_counts
+        hot = np.unravel_index(int(np.argmax(counts)), counts.shape)
+        return {
+            "max": float(counts.max()),
+            "mean": float(counts.mean()),
+            "total": float(counts.sum()),
+            "hot_row": float(hot[0]),
+            "hot_col": float(hot[1]),
+        }
+
+    def remaining_lifetime_fraction(self, endurance_cycles: float) -> float:
+        """Fraction of cell endurance the hottest cell has left.
+
+        Args:
+            endurance_cycles: The technology's program/erase endurance.
+        """
+        if endurance_cycles <= 0.0:
+            raise TCAMError(f"endurance must be positive, got {endurance_cycles}")
+        worst = float(self._write_counts.max())
+        return max(1.0 - worst / endurance_cycles, 0.0)

@@ -1,0 +1,15 @@
+"""Cell descriptors, one per TCAM technology."""
+
+from .cmos16t import CMOS16TCell
+from .reram2t2r import ReRAM2T2RCell
+from .fefet2t import FeFET2TCell, default_fefet_cell_params
+from .fefet_mlc import MLCFeFETCell, MLCFeFETCellParams
+
+__all__ = [
+    "CMOS16TCell",
+    "ReRAM2T2RCell",
+    "FeFET2TCell",
+    "default_fefet_cell_params",
+    "MLCFeFETCell",
+    "MLCFeFETCellParams",
+]

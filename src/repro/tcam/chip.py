@@ -1,0 +1,212 @@
+"""Chip-level organization: banks, bank selection and power gating.
+
+A TCAM chip tiles many banks.  Two system-level effects only appear at
+this level:
+
+* **Bank selection** -- a hash/profile steers each search to one bank, so
+  only that bank's match lines and search lines move.
+* **Non-volatile power gating** -- FeFET (and ReRAM) banks retain their
+  contents with the supply collapsed, so idle banks can be gated to zero
+  leakage and woken in nanoseconds.  SRAM-based banks must keep their
+  supply up to retain data, paying retention leakage forever -- or accept
+  a full reload from backing store on wake, paying the whole write energy
+  again.
+
+Experiment R-F12 sweeps the search duty cycle to show where the
+non-volatile standby story dominates total energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..energy.accounting import EnergyComponent, EnergyLedger
+from ..errors import CapacityError, TCAMError
+from .array import SearchOutcome, TCAMArray
+from .trit import TernaryWord
+
+
+@dataclass(frozen=True)
+class GatingPolicy:
+    """How idle banks are handled.
+
+    Attributes:
+        gate_idle_banks: Collapse the supply of banks not being searched.
+        wakeup_latency: Supply-restore time when a gated bank is searched [s].
+        wakeup_energy: Supply-rail recharge energy per wake event [J].
+        retention_required: True when the cells lose data if gated
+            (SRAM-based chips); gating is then refused.
+    """
+
+    gate_idle_banks: bool = False
+    wakeup_latency: float = 10e-9
+    wakeup_energy: float = 50e-15
+    retention_required: bool = False
+
+    def __post_init__(self) -> None:
+        if self.wakeup_latency < 0.0 or self.wakeup_energy < 0.0:
+            raise TCAMError("wake-up costs must be non-negative")
+        if self.gate_idle_banks and self.retention_required:
+            raise TCAMError(
+                "cannot gate idle banks: the cell technology loses data "
+                "without supply (volatile storage)"
+            )
+
+
+@dataclass(frozen=True)
+class ChipSearchOutcome:
+    """One chip search.
+
+    Attributes:
+        bank: Bank that served the search.
+        row: Global row index of the first match, or ``None``.
+        outcome: The bank-level search outcome.
+        energy: Bank search energy + idle-bank leakage + wake-up costs.
+        latency: Search delay including any wake-up.
+    """
+
+    bank: int
+    row: int | None
+    outcome: SearchOutcome
+    energy: EnergyLedger
+    latency: float
+
+
+class TCAMChip:
+    """A chip of ``n_banks`` identical banks with one shared search port.
+
+    Args:
+        build_bank: Zero-argument factory producing one bank
+            (:class:`TCAMArray` or compatible); called ``n_banks`` times.
+        n_banks: Bank count.
+        gating: Idle-bank gating policy.
+    """
+
+    def __init__(self, build_bank, n_banks: int, gating: GatingPolicy | None = None) -> None:
+        if n_banks < 1:
+            raise TCAMError(f"n_banks must be >= 1, got {n_banks}")
+        self.banks = [build_bank() for _ in range(n_banks)]
+        geometry = self.banks[0].geometry
+        for bank in self.banks[1:]:
+            if bank.geometry != geometry:
+                raise TCAMError("all banks must share one geometry")
+        self.geometry = geometry
+        self.gating = gating if gating is not None else GatingPolicy()
+        self._powered = np.ones(n_banks, dtype=bool)
+        if self.gating.gate_idle_banks:
+            self._powered[:] = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_banks(self) -> int:
+        """Number of banks."""
+        return len(self.banks)
+
+    @property
+    def rows_total(self) -> int:
+        """Total row capacity of the chip."""
+        return self.n_banks * self.geometry.rows
+
+    def _split(self, global_row: int) -> tuple[int, int]:
+        if not 0 <= global_row < self.rows_total:
+            raise TCAMError(f"row {global_row} outside [0, {self.rows_total})")
+        return divmod(global_row, self.geometry.rows)
+
+    def write(self, global_row: int, word: TernaryWord) -> EnergyLedger:
+        """Write one word at a chip-global row (wakes the bank if gated)."""
+        bank_idx, local_row = self._split(global_row)
+        ledger = EnergyLedger()
+        self._wake(bank_idx, ledger)
+        ledger.merge(self.banks[bank_idx].write(local_row, word).energy)
+        return ledger
+
+    def load(self, words: list[TernaryWord]) -> EnergyLedger:
+        """Fill the chip row-major with ``words``."""
+        if len(words) > self.rows_total:
+            raise CapacityError(
+                f"{len(words)} words do not fit in {self.rows_total} chip rows"
+            )
+        ledger = EnergyLedger()
+        for row, word in enumerate(words):
+            ledger.merge(self.write(row, word))
+        return ledger
+
+    # ------------------------------------------------------------------
+
+    def _wake(self, bank_idx: int, ledger: EnergyLedger) -> float:
+        """Power a gated bank up; return the added latency."""
+        if self._powered[bank_idx]:
+            return 0.0
+        ledger.add(EnergyComponent.CLOCK, self.gating.wakeup_energy)
+        self._powered[bank_idx] = True
+        return self.gating.wakeup_latency
+
+    def _sleep_idle(self, active_bank: int) -> None:
+        """Gate every bank except the one just used (it stays warm)."""
+        if self.gating.gate_idle_banks:
+            self._powered[:] = False
+            self._powered[active_bank] = True
+
+    def search(self, key: TernaryWord, bank: int, idle_time: float = 0.0) -> ChipSearchOutcome:
+        """Search one bank; account idle-bank leakage over ``idle_time``.
+
+        Args:
+            key: Search key (bank-width).
+            bank: Bank index to search (bank-selection is the caller's
+                profile/hash decision).
+            idle_time: Wall-clock time since the previous chip operation
+                [s]; ungated banks leak over it.
+        """
+        if not 0 <= bank < self.n_banks:
+            raise TCAMError(f"bank {bank} outside [0, {self.n_banks})")
+        ledger = EnergyLedger()
+        extra_latency = self._wake(bank, ledger)
+
+        # Idle leakage of every powered bank over the idle window.
+        if idle_time > 0.0:
+            powered = int(np.count_nonzero(self._powered))
+            leak_power = self.banks[0].standby_power()
+            ledger.add(EnergyComponent.LEAKAGE, powered * leak_power * idle_time)
+
+        outcome = self.banks[bank].search(key)
+        ledger.merge(outcome.energy)
+        self._sleep_idle(bank)
+
+        row = None
+        if outcome.first_match is not None:
+            row = bank * self.geometry.rows + outcome.first_match
+        return ChipSearchOutcome(
+            bank=bank,
+            row=row,
+            outcome=outcome,
+            energy=ledger,
+            latency=outcome.search_delay + extra_latency,
+        )
+
+    # ------------------------------------------------------------------
+
+    def standby_power(self) -> float:
+        """Chip standby power with the present gating state [W]."""
+        powered = int(np.count_nonzero(self._powered))
+        return powered * self.banks[0].standby_power()
+
+    def energy_per_search_at_rate(self, searches_per_second: float) -> float:
+        """Amortized total energy per search at a given search rate [J].
+
+        Total = one bank search + (chip standby power x the idle interval)
+        + (wake energy when gating).  This is the quantity experiment
+        R-F12 sweeps: at high rates the search term dominates; at low
+        rates the standby term does -- unless idle banks are gated.
+        """
+        if searches_per_second <= 0.0:
+            raise TCAMError("search rate must be positive")
+        interval = 1.0 / searches_per_second
+        rng = np.random.default_rng(0)
+        from .trit import random_word
+
+        key = random_word(self.geometry.cols, rng)
+        result = self.search(key, bank=0, idle_time=interval)
+        return result.energy.total

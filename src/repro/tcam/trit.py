@@ -1,0 +1,274 @@
+"""Ternary values and words.
+
+A TCAM bit stores one of three states: ``0``, ``1`` or ``X`` (don't care).
+A *stored* ``X`` matches any search bit; a *search* ``X`` (masked search
+column) matches any stored bit.  This module implements that algebra plus
+the integer encoding used by the vectorized array core:
+
+====== =========
+value  encoding
+====== =========
+``0``  0
+``1``  1
+``X``  2
+====== =========
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import TCAMError
+
+
+class Trit(enum.IntEnum):
+    """One ternary symbol."""
+
+    ZERO = 0
+    ONE = 1
+    X = 2
+
+    @classmethod
+    def from_char(cls, char: str) -> "Trit":
+        """Parse ``'0'``, ``'1'``, ``'x'`` or ``'X'``.
+
+        >>> Trit.from_char('x') is Trit.X
+        True
+        """
+        table = {"0": cls.ZERO, "1": cls.ONE, "x": cls.X, "X": cls.X}
+        try:
+            return table[char]
+        except KeyError:
+            raise TCAMError(f"invalid trit character {char!r}") from None
+
+    def to_char(self) -> str:
+        """Render as ``'0'``, ``'1'`` or ``'X'``."""
+        return {Trit.ZERO: "0", Trit.ONE: "1", Trit.X: "X"}[self]
+
+    def matches(self, other: "Trit") -> bool:
+        """Ternary match: X matches everything, otherwise exact equality."""
+        if self is Trit.X or other is Trit.X:
+            return True
+        return self is other
+
+
+class TernaryWord(Sequence[Trit]):
+    """An immutable fixed-width sequence of trits.
+
+    Construct from any iterable of :class:`Trit` (or 0/1/2 integers), or via
+    :func:`word_from_string`.
+
+    >>> w = word_from_string("10X")
+    >>> w.matches(word_from_string("101"))
+    True
+    >>> str(w)
+    '10X'
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, trits: Iterable[Trit | int]) -> None:
+        values = []
+        for t in trits:
+            v = int(t)
+            if v not in (0, 1, 2):
+                raise TCAMError(f"invalid trit value {t!r}")
+            values.append(v)
+        if not values:
+            raise TCAMError("a ternary word must have at least one trit")
+        self._data = np.array(values, dtype=np.int8)
+        self._data.setflags(write=False)
+
+    # -- Sequence protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._data.size)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return TernaryWord(self._data[index])
+        return Trit(int(self._data[index]))
+
+    def __iter__(self) -> Iterator[Trit]:
+        return (Trit(int(v)) for v in self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TernaryWord):
+            return NotImplemented
+        return len(self) == len(other) and bool(np.all(self._data == other._data))
+
+    def __hash__(self) -> int:
+        return hash(self._data.tobytes())
+
+    def __repr__(self) -> str:
+        return f"TernaryWord('{self}')"
+
+    def __str__(self) -> str:
+        return "".join(Trit(int(v)).to_char() for v in self._data)
+
+    # -- TCAM algebra ------------------------------------------------------
+
+    def as_array(self) -> np.ndarray:
+        """Return the int8 encoding (read-only view)."""
+        return self._data
+
+    def matches(self, key: "TernaryWord") -> bool:
+        """True when every column matches under ternary semantics."""
+        return self.mismatch_count(key) == 0
+
+    def mismatch_count(self, key: "TernaryWord") -> int:
+        """Number of mismatching (conducting) columns against ``key``."""
+        if len(key) != len(self):
+            raise TCAMError(
+                f"width mismatch: stored {len(self)} vs key {len(key)}"
+            )
+        return int(mismatch_counts(self._data[np.newaxis, :], key.as_array())[0])
+
+    def x_count(self) -> int:
+        """Number of don't-care columns."""
+        return int(np.count_nonzero(self._data == int(Trit.X)))
+
+    def specificity(self) -> int:
+        """Number of specified (non-X) columns -- the LPM tie-breaker."""
+        return len(self) - self.x_count()
+
+    def with_trit(self, index: int, trit: Trit) -> "TernaryWord":
+        """Return a copy with one column replaced."""
+        data = self._data.copy()
+        data[index] = int(trit)
+        return TernaryWord(data)
+
+
+def mismatch_counts(stored: np.ndarray, key: np.ndarray) -> np.ndarray:
+    """Vectorized per-row mismatch counts.
+
+    Args:
+        stored: ``(rows, cols)`` int8 matrix of trit encodings.
+        key: ``(cols,)`` int8 vector of trit encodings.
+
+    Returns:
+        ``(rows,)`` int array: number of columns in each row where neither
+        side is X and the values differ -- i.e. the number of conducting
+        pull-down cells on that row's match line.
+    """
+    stored = np.asarray(stored)
+    key = np.asarray(key)
+    if stored.ndim != 2 or key.ndim != 1 or stored.shape[1] != key.shape[0]:
+        raise TCAMError(
+            f"shape mismatch: stored {stored.shape} vs key {key.shape}"
+        )
+    x_code = int(Trit.X)
+    relevant = (stored != x_code) & (key != x_code)[np.newaxis, :]
+    differs = stored != key[np.newaxis, :]
+    return np.count_nonzero(relevant & differs, axis=1)
+
+
+def word_from_string(text: str) -> TernaryWord:
+    """Parse a word like ``"10XX01"``.
+
+    >>> word_from_string("1X0").x_count()
+    1
+    """
+    if not text:
+        raise TCAMError("empty word string")
+    return TernaryWord(Trit.from_char(c) for c in text)
+
+
+def word_from_int(value: int, width: int) -> TernaryWord:
+    """Binary word (no X) from an unsigned integer, MSB first.
+
+    >>> str(word_from_int(5, 4))
+    '0101'
+    """
+    if width < 1:
+        raise TCAMError(f"width must be >= 1, got {width}")
+    if value < 0 or value >= (1 << width):
+        raise TCAMError(f"value {value} does not fit in {width} bits")
+    return TernaryWord((value >> (width - 1 - i)) & 1 for i in range(width))
+
+
+def prefix_word(value: int, prefix_len: int, width: int) -> TernaryWord:
+    """Prefix pattern: ``prefix_len`` specified MSBs, the rest X.
+
+    This is the TCAM image of an IP route ``value/prefix_len``.
+
+    >>> str(prefix_word(0b1010, 2, 4))
+    '10XX'
+    """
+    if not 0 <= prefix_len <= width:
+        raise TCAMError(f"prefix length {prefix_len} outside [0, {width}]")
+    bits = word_from_int(value, width)
+    trits = [bits[i] if i < prefix_len else Trit.X for i in range(width)]
+    return TernaryWord(trits)
+
+
+def random_word(
+    width: int,
+    rng: np.random.Generator,
+    x_fraction: float = 0.0,
+) -> TernaryWord:
+    """Draw a random ternary word.
+
+    Args:
+        width: Number of columns.
+        rng: Random generator.
+        x_fraction: Probability that each column is X (don't care).
+    """
+    if width < 1:
+        raise TCAMError(f"width must be >= 1, got {width}")
+    if not 0.0 <= x_fraction <= 1.0:
+        raise TCAMError(f"x_fraction must be in [0, 1], got {x_fraction}")
+    bits = rng.integers(0, 2, size=width)
+    xs = rng.random(width) < x_fraction
+    return TernaryWord(np.where(xs, int(Trit.X), bits).astype(np.int8))
+
+
+def sl_drive(search_trit: Trit) -> tuple[int, int]:
+    """Search-line drive pair (SL, SLB) for a search symbol.
+
+    Convention (NOR cell): searching ``0`` raises SL (the "detect stored-1"
+    line), searching ``1`` raises SLB, searching ``X`` raises neither so the
+    column cannot discharge any match line.
+
+    >>> sl_drive(Trit.ZERO)
+    (1, 0)
+    >>> sl_drive(Trit.X)
+    (0, 0)
+    """
+    if search_trit is Trit.ZERO:
+        return (1, 0)
+    if search_trit is Trit.ONE:
+        return (0, 1)
+    return (0, 0)
+
+
+def drive_vector(key: TernaryWord) -> tuple[int, ...]:
+    """Pack each column's (SL, SLB) drive into two bits for toggle counting."""
+    return tuple(sl * 2 + slb for sl, slb in (sl_drive(t) for t in key))
+
+
+def nand_sl_drive(search_trit: Trit) -> tuple[int, int]:
+    """Search-line drive pair for the NAND (series) cell polarity.
+
+    In a NAND string every cell must *conduct* on a match, so a masked
+    search column raises both lines (any healthy cell passes), and a
+    specified symbol raises the line gating its match device.
+
+    >>> nand_sl_drive(Trit.X)
+    (1, 1)
+    >>> nand_sl_drive(Trit.ZERO)
+    (1, 0)
+    """
+    if search_trit is Trit.ZERO:
+        return (1, 0)
+    if search_trit is Trit.ONE:
+        return (0, 1)
+    return (1, 1)
+
+
+def nand_drive_vector(key: TernaryWord) -> tuple[int, ...]:
+    """Packed (SL, SLB) drive for a NAND search key."""
+    return tuple(sl * 2 + slb for sl, slb in (nand_sl_drive(t) for t in key))

@@ -1,0 +1,33 @@
+"""Workload generators: random patterns, IP routing, ACLs, HDC memory."""
+
+from .patterns import PatternStream, biased_key_stream, random_table
+from .iproute import Route, RoutingTable, synthetic_routing_table
+from .packetclass import AclRule, Packet, RuleSet, synthetic_acl
+from .hdc import HDCMemory, HDCEncoder
+from .signatures import (
+    ScanHit,
+    Signature,
+    SignatureSet,
+    plant_signatures,
+    synthetic_signatures,
+)
+
+__all__ = [
+    "PatternStream",
+    "random_table",
+    "biased_key_stream",
+    "Route",
+    "RoutingTable",
+    "synthetic_routing_table",
+    "AclRule",
+    "Packet",
+    "RuleSet",
+    "synthetic_acl",
+    "HDCEncoder",
+    "HDCMemory",
+    "Signature",
+    "SignatureSet",
+    "ScanHit",
+    "synthetic_signatures",
+    "plant_signatures",
+]

@@ -1,0 +1,160 @@
+"""Hyperdimensional-computing associative memory on a TCAM.
+
+The one-shot-learning application that motivated ferroelectric TCAMs
+(Ni et al., Nature Electronics 2019): class prototypes are binary
+hypervectors stored as TCAM rows, and classification is a *nearest-match*
+search -- the row with the fewest mismatching bits wins.  Don't-care
+masking of low-confidence prototype bits both shrinks energy (X columns
+never discharge a line) and improves noise tolerance.
+
+The encoder here is a standard random-projection HDC pipeline: item
+memory of random hypervectors, XOR binding, majority bundling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..tcam.array import TCAMArray
+from ..tcam.trit import TernaryWord, Trit
+
+
+@dataclass
+class HDCEncoder:
+    """Random-projection hyperdimensional encoder.
+
+    Attributes:
+        dimensions: Hypervector width (the TCAM word width).
+        n_features: Input feature count.
+        n_levels: Quantization levels per feature.
+        rng: Generator for the (fixed) item memories.
+    """
+
+    dimensions: int
+    n_features: int
+    n_levels: int
+    rng: np.random.Generator
+
+    def __post_init__(self) -> None:
+        if self.dimensions < 8:
+            raise WorkloadError(f"dimensions must be >= 8, got {self.dimensions}")
+        if self.n_features < 1 or self.n_levels < 2:
+            raise WorkloadError("need >= 1 feature and >= 2 levels")
+        # Item memory: one random hypervector per feature position.
+        self._position_hvs = self.rng.integers(
+            0, 2, size=(self.n_features, self.dimensions), dtype=np.int8
+        )
+        # Level memory: correlated chain so nearby levels stay similar.
+        levels = [self.rng.integers(0, 2, size=self.dimensions, dtype=np.int8)]
+        flips_per_step = max(self.dimensions // (2 * (self.n_levels - 1)), 1)
+        for _ in range(self.n_levels - 1):
+            nxt = levels[-1].copy()
+            idx = self.rng.choice(self.dimensions, size=flips_per_step, replace=False)
+            nxt[idx] ^= 1
+            levels.append(nxt)
+        self._level_hvs = np.stack(levels)
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Encode quantized features (ints in [0, n_levels)) to a binary HV."""
+        f = np.asarray(features)
+        if f.shape != (self.n_features,):
+            raise WorkloadError(
+                f"features must have shape ({self.n_features},), got {f.shape}"
+            )
+        if np.any((f < 0) | (f >= self.n_levels)):
+            raise WorkloadError("feature levels out of range")
+        bound = self._position_hvs ^ self._level_hvs[f]  # XOR binding
+        votes = bound.sum(axis=0)
+        majority = (votes * 2 > self.n_features).astype(np.int8)
+        ties = votes * 2 == self.n_features
+        if ties.any():  # break ties deterministically from position parity
+            majority[ties] = self._position_hvs[0, ties]
+        return majority
+
+
+@dataclass(frozen=True)
+class HDCQueryResult:
+    """One classification outcome.
+
+    Attributes:
+        label: Predicted class label, or ``None`` with an empty memory.
+        distance: Mismatch count to the winning prototype.
+        energy: Search energy [J].
+    """
+
+    label: int | None
+    distance: int
+    energy: float
+
+
+class HDCMemory:
+    """Class prototypes in a TCAM, classified by nearest match.
+
+    Args:
+        array: A precharge-style TCAM whose width equals the HV dimension.
+        confidence_threshold: Bundled class bits whose vote margin falls
+            below this fraction are stored as X (don't care); 0 stores
+            every bit.
+    """
+
+    def __init__(self, array: TCAMArray, confidence_threshold: float = 0.0) -> None:
+        if not 0.0 <= confidence_threshold <= 1.0:
+            raise WorkloadError(
+                f"confidence_threshold must be in [0, 1], got {confidence_threshold}"
+            )
+        self.array = array
+        self.confidence_threshold = confidence_threshold
+        self._labels: list[int] = []
+
+    @property
+    def n_classes(self) -> int:
+        """Stored prototype count."""
+        return len(self._labels)
+
+    def train_class(self, label: int, examples: np.ndarray) -> None:
+        """Bundle ``examples`` (n x D binary) into one stored prototype.
+
+        Low-confidence bit positions (close votes) become X when the
+        confidence threshold is positive.
+        """
+        ex = np.asarray(examples, dtype=np.int8)
+        if ex.ndim != 2 or ex.shape[1] != self.array.geometry.cols:
+            raise WorkloadError(
+                f"examples must be (n, {self.array.geometry.cols}), got {ex.shape}"
+            )
+        if len(self._labels) >= self.array.geometry.rows:
+            raise WorkloadError("associative memory is full")
+        votes = ex.mean(axis=0)
+        bits = (votes > 0.5).astype(np.int8)
+        confidence = np.abs(votes - 0.5) * 2.0
+        trits = np.where(
+            confidence < self.confidence_threshold, int(Trit.X), bits
+        ).astype(np.int8)
+        self.array.write(len(self._labels), TernaryWord(trits))
+        self._labels.append(label)
+
+    def classify(self, hypervector: np.ndarray) -> HDCQueryResult:
+        """Nearest-match classification of one binary hypervector."""
+        hv = np.asarray(hypervector, dtype=np.int8)
+        if hv.shape != (self.array.geometry.cols,):
+            raise WorkloadError(
+                f"hypervector must have shape ({self.array.geometry.cols},), "
+                f"got {hv.shape}"
+            )
+        if not self._labels:
+            return HDCQueryResult(label=None, distance=0, energy=0.0)
+        outcome = self.array.nearest_match(TernaryWord(hv))
+        label = self._labels[outcome.row] if outcome.row is not None else None
+        return HDCQueryResult(
+            label=label, distance=outcome.distance, energy=outcome.energy.total
+        )
+
+    def x_density(self) -> float:
+        """Fraction of stored prototype trits that are X."""
+        if not self._labels:
+            return 0.0
+        stored = self.array.stored_matrix()[: len(self._labels)]
+        return float(np.mean(stored == int(Trit.X)))

@@ -1,0 +1,67 @@
+"""Cross-validation of the closed-form energy model against simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.analytic import estimate_search_energy, relative_error
+from repro.core import build_array, get_design
+from repro.energy import EnergyComponent, EnergyLedger
+from repro.errors import AnalysisError
+from repro.tcam import ArrayGeometry, random_word
+
+
+def _simulated_mean(design: str, rows=32, cols=64, n=10, seed=0) -> EnergyLedger:
+    rng = np.random.default_rng(seed)
+    array = build_array(get_design(design), ArrayGeometry(rows, cols))
+    array.load([random_word(cols, rng) for _ in range(rows)])
+    total = EnergyLedger()
+    array.search(random_word(cols, rng))  # warm the SL state
+    for _ in range(n):
+        total.merge(array.search(random_word(cols, rng)).energy)
+    return total.scaled(1.0 / n), array
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("design", ["cmos16t", "fefet2t", "fefet2t_lv"])
+    def test_total_within_30_percent(self, design):
+        simulated, array = _simulated_mean(design)
+        estimate = estimate_search_energy(array)
+        sim_dynamic = simulated.total - simulated.get(EnergyComponent.LEAKAGE)
+        assert relative_error(estimate.total, sim_dynamic) < 0.30, design
+
+    def test_ml_component_within_20_percent(self):
+        simulated, array = _simulated_mean("fefet2t")
+        estimate = estimate_search_energy(array)
+        sim_ml = simulated.get(EnergyComponent.ML_PRECHARGE)
+        assert relative_error(estimate.e_ml, sim_ml) < 0.20
+
+    def test_sl_component_within_35_percent(self):
+        simulated, array = _simulated_mean("fefet2t")
+        estimate = estimate_search_energy(array)
+        sim_sl = simulated.get(EnergyComponent.SEARCHLINE)
+        assert relative_error(estimate.e_sl, sim_sl) < 0.35
+
+    def test_estimate_scales_linearly_with_rows(self):
+        _, small = _simulated_mean("fefet2t", rows=16, n=1)
+        _, large = _simulated_mean("fefet2t", rows=64, n=1)
+        e_small = estimate_search_energy(small)
+        e_large = estimate_search_energy(large)
+        assert e_large.e_ml == pytest.approx(4 * e_small.e_ml, rel=1e-6)
+
+
+class TestValidation:
+    def test_rejects_race_arrays(self):
+        array = build_array(get_design("fefet_cr"), ArrayGeometry(4, 16))
+        with pytest.raises(AnalysisError):
+            estimate_search_energy(array)
+
+    def test_rejects_bad_probability(self):
+        array = build_array(get_design("fefet2t"), ArrayGeometry(4, 16))
+        with pytest.raises(AnalysisError):
+            estimate_search_energy(array, p_row_discharge=1.5)
+
+    def test_relative_error_rejects_non_positive(self):
+        with pytest.raises(AnalysisError):
+            relative_error(1.0, 0.0)

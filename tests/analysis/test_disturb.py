@@ -1,0 +1,107 @@
+"""Tests for the write-disturb analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.disturb import (
+    V_HALF,
+    V_THIRD,
+    DisturbAnalysis,
+    WriteScheme,
+)
+from repro.devices.preisach import PreisachModel, SwitchingPulse
+from repro.devices.material import HZO_10NM
+from repro.errors import AnalysisError, DeviceError
+from repro.tcam.cells.fefet2t import default_fefet_cell_params
+
+PARAMS = default_fefet_cell_params()
+
+
+class TestExpectationPrimitive:
+    def test_zero_pulses_is_identity(self):
+        m = PreisachModel(HZO_10NM, rng=np.random.default_rng(0))
+        m.saturate(1)
+        pulse = SwitchingPulse(-2.0, 100e-9)
+        assert m.expected_polarization_after_pulses(pulse, 0) == pytest.approx(1.0)
+
+    def test_expectation_does_not_mutate(self):
+        m = PreisachModel(HZO_10NM, rng=np.random.default_rng(0))
+        m.saturate(1)
+        m.expected_polarization_after_pulses(SwitchingPulse(-2.0, 100e-9), 1000)
+        assert m.normalized_polarization == pytest.approx(1.0)
+
+    def test_monotone_in_pulse_count(self):
+        m = PreisachModel(HZO_10NM, rng=np.random.default_rng(0))
+        m.saturate(1)
+        pulse = SwitchingPulse(-2.0, 100e-9)
+        values = [m.expected_polarization_after_pulses(pulse, n) for n in (1, 10, 100, 1000)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_aligned_pulse_changes_nothing(self):
+        m = PreisachModel(HZO_10NM, rng=np.random.default_rng(0))
+        m.saturate(1)
+        pulse = SwitchingPulse(2.0, 100e-9)  # same direction as the state
+        assert m.expected_polarization_after_pulses(pulse, 10**6) == pytest.approx(1.0)
+
+    def test_many_strong_pulses_saturate_opposite(self):
+        m = PreisachModel(HZO_10NM, rng=np.random.default_rng(0))
+        m.saturate(1)
+        pulse = SwitchingPulse(-4.0, 100e-9)
+        assert m.expected_polarization_after_pulses(pulse, 100) == pytest.approx(-1.0, abs=1e-6)
+
+    def test_rejects_negative_count(self):
+        m = PreisachModel(HZO_10NM, rng=np.random.default_rng(0))
+        with pytest.raises(DeviceError):
+            m.expected_polarization_after_pulses(SwitchingPulse(-2.0, 1e-7), -1)
+
+
+class TestSchemes:
+    def test_scheme_validation(self):
+        with pytest.raises(AnalysisError):
+            WriteScheme(name="bad", disturb_fraction=1.0)
+
+    def test_half_select_degrades(self):
+        da = DisturbAnalysis(PARAMS, V_HALF)
+        assert da.point(10**4).retention_fraction < 0.9
+
+    def test_third_select_immune_to_1e8(self):
+        da = DisturbAnalysis(PARAMS, V_THIRD)
+        assert da.point(10**8).retention_fraction > 0.98
+
+    def test_vt_shift_monotone(self):
+        da = DisturbAnalysis(PARAMS, V_HALF)
+        shifts = [da.point(n).vt_shift for n in (0, 10, 1000, 10**5)]
+        assert all(b >= a for a, b in zip(shifts, shifts[1:]))
+        assert shifts[0] == 0.0
+
+    def test_trajectory_matches_points(self):
+        da = DisturbAnalysis(PARAMS, V_HALF)
+        traj = da.trajectory([0, 100])
+        assert traj[0].vt_shift == da.point(0).vt_shift
+        assert traj[1].vt_shift == da.point(100).vt_shift
+
+    def test_point_rejects_negative(self):
+        da = DisturbAnalysis(PARAMS, V_HALF)
+        with pytest.raises(AnalysisError):
+            da.point(-1)
+
+
+class TestLifetimeSearch:
+    def test_half_select_hits_shift_quickly(self):
+        da = DisturbAnalysis(PARAMS, V_HALF)
+        n = da.pulses_to_vt_shift(0.1)
+        assert n is not None
+        assert da.point(n).vt_shift >= 0.1
+        if n > 0:
+            assert da.point(n - 1).vt_shift < 0.1
+
+    def test_third_select_never_hits(self):
+        da = DisturbAnalysis(PARAMS, V_THIRD)
+        assert da.pulses_to_vt_shift(0.1, n_max=10**9) is None
+
+    def test_rejects_bad_target(self):
+        da = DisturbAnalysis(PARAMS, V_HALF)
+        with pytest.raises(AnalysisError):
+            da.pulses_to_vt_shift(0.0)

@@ -1,0 +1,83 @@
+"""Tests for the deterministic margin analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.margin import worst_case_margin
+from repro.errors import AnalysisError
+from repro.tcam.cells import FeFET2TCell, ReRAM2T2RCell
+
+CELL = FeFET2TCell()
+C_ML = 10e-15
+T_EVAL = 100e-12
+
+
+def _margin(**overrides):
+    base = dict(
+        cell=CELL,
+        c_ml=C_ML,
+        cols=64,
+        v_precharge=0.9,
+        v_supply=0.9,
+        v_sense=0.45,
+        t_eval=T_EVAL,
+    )
+    base.update(overrides)
+    return worst_case_margin(**base)
+
+
+class TestNominal:
+    def test_healthy_margin_positive_and_functional(self):
+        result = _margin()
+        assert result.margin > 0.3
+        assert result.functional
+
+    def test_match_above_miss(self):
+        result = _margin()
+        assert result.v_match > result.v_single_miss
+
+    def test_longer_eval_discharges_miss_further(self):
+        quick = _margin(t_eval=20e-12)
+        slow = _margin(t_eval=200e-12)
+        assert slow.v_single_miss <= quick.v_single_miss
+
+
+class TestInjectedCorners:
+    def test_weak_pulldown_shrinks_margin(self):
+        nominal = _margin()
+        weak = _margin(pulldown_vt_offset=0.3)
+        assert weak.margin < nominal.margin
+
+    def test_extreme_weak_pulldown_fails_miss_detection(self):
+        broken = _margin(pulldown_vt_offset=1.0, t_eval=20e-12)
+        assert not broken.miss_read_correctly
+        assert not broken.functional
+
+    def test_heavy_leakage_drops_match_line(self):
+        nominal = _margin()
+        leaky = _margin(leak_scale=1e5)
+        assert leaky.v_match < nominal.v_match
+
+    def test_extreme_leakage_fails_match_detection(self):
+        broken = _margin(leak_scale=5e6, t_eval=500e-12)
+        assert not broken.match_read_correctly
+
+    def test_reram_margin_smaller_than_fefet(self):
+        fefet = _margin()
+        reram = _margin(cell=ReRAM2T2RCell())
+        assert reram.margin < fefet.margin
+
+
+class TestValidation:
+    def test_rejects_zero_cols(self):
+        with pytest.raises(AnalysisError):
+            _margin(cols=0)
+
+    def test_rejects_negative_leak_scale(self):
+        with pytest.raises(AnalysisError):
+            _margin(leak_scale=-1.0)
+
+    def test_rejects_sense_outside_window(self):
+        with pytest.raises(AnalysisError):
+            _margin(v_sense=0.95)

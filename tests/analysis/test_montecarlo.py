@@ -1,0 +1,85 @@
+"""Tests for the Monte-Carlo margin engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import run_margin_mc
+from repro.core import build_array, get_design
+from repro.devices.variability import NO_VARIATION, NOMINAL_VARIATION
+from repro.errors import AnalysisError
+from repro.tcam import ArrayGeometry
+
+GEO = ArrayGeometry(8, 32)
+
+
+@pytest.fixture(scope="module")
+def fefet_arr():
+    return build_array(get_design("fefet2t"), GEO)
+
+
+class TestBasics:
+    def test_no_variation_is_deterministic(self, fefet_arr):
+        mc = run_margin_mc(fefet_arr, NO_VARIATION, n_samples=20)
+        assert mc.margin_sigma == pytest.approx(0.0, abs=1e-12)
+        assert mc.failure_rate == 0.0
+
+    def test_no_variation_matches_nominal_margin(self, fefet_arr):
+        mc = run_margin_mc(fefet_arr, NO_VARIATION, n_samples=5)
+        assert mc.margin_mean == pytest.approx(fefet_arr.sense_margin(), rel=1e-6)
+
+    def test_seeded_runs_reproducible(self, fefet_arr):
+        a = run_margin_mc(fefet_arr, NOMINAL_VARIATION, n_samples=50, seed=7)
+        b = run_margin_mc(fefet_arr, NOMINAL_VARIATION, n_samples=50, seed=7)
+        assert np.array_equal(a.margins, b.margins)
+
+    def test_different_seeds_differ(self, fefet_arr):
+        a = run_margin_mc(fefet_arr, NOMINAL_VARIATION, n_samples=50, seed=7)
+        b = run_margin_mc(fefet_arr, NOMINAL_VARIATION, n_samples=50, seed=8)
+        assert not np.array_equal(a.margins, b.margins)
+
+    def test_variation_spreads_margins(self, fefet_arr):
+        mc = run_margin_mc(fefet_arr, NOMINAL_VARIATION, n_samples=100)
+        assert mc.margin_sigma > 0.01
+
+    def test_percentiles_ordered(self, fefet_arr):
+        mc = run_margin_mc(fefet_arr, NOMINAL_VARIATION, n_samples=100)
+        assert mc.margin_percentile(1) <= mc.margin_percentile(50) <= mc.margin_percentile(99)
+
+    def test_percentile_range_checked(self, fefet_arr):
+        mc = run_margin_mc(fefet_arr, NO_VARIATION, n_samples=5)
+        with pytest.raises(AnalysisError):
+            mc.margin_percentile(101)
+
+    def test_rejects_race_arrays(self):
+        arr = build_array(get_design("fefet_cr"), GEO)
+        with pytest.raises(AnalysisError):
+            run_margin_mc(arr, NOMINAL_VARIATION, n_samples=5)
+
+    def test_rejects_zero_samples(self, fefet_arr):
+        with pytest.raises(AnalysisError):
+            run_margin_mc(fefet_arr, NOMINAL_VARIATION, n_samples=0)
+
+
+class TestDesignComparisons:
+    def test_lv_margin_mean_smaller_than_full_swing(self):
+        full = build_array(get_design("fefet2t"), GEO)
+        lv = build_array(get_design("fefet2t_lv"), GEO)
+        mc_full = run_margin_mc(full, NOMINAL_VARIATION, n_samples=100)
+        mc_lv = run_margin_mc(lv, NOMINAL_VARIATION, n_samples=100)
+        assert mc_lv.margin_mean < mc_full.margin_mean
+
+    def test_huge_variation_causes_failures(self, fefet_arr):
+        wild = NOMINAL_VARIATION.scaled(10.0)
+        mc = run_margin_mc(fefet_arr, wild, n_samples=200)
+        assert mc.failure_rate > 0.0
+
+    def test_failure_rate_monotone_in_sigma_scale(self, fefet_arr):
+        rates = []
+        for scale in (1.0, 5.0, 12.0):
+            mc = run_margin_mc(
+                fefet_arr, NOMINAL_VARIATION.scaled(scale), n_samples=200, seed=3
+            )
+            rates.append(mc.failure_rate)
+        assert rates[0] <= rates[1] <= rates[2]

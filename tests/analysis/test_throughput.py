@@ -1,0 +1,44 @@
+"""Tests for the derived figures of merit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.throughput import ThroughputReport, characterize
+from repro.core import build_array, get_design
+from repro.errors import AnalysisError
+from repro.tcam import ArrayGeometry
+
+GEO = ArrayGeometry(16, 32)
+
+
+class TestReportAlgebra:
+    def test_derived_quantities(self):
+        r = ThroughputReport(energy_per_search=2e-12, cycle_time=1e-9, search_delay=5e-10)
+        assert r.throughput == pytest.approx(1e9)
+        assert r.power_at_rate == pytest.approx(2e-3)
+        assert r.edp == pytest.approx(1e-21)
+        assert r.searches_per_joule == pytest.approx(5e11)
+
+
+class TestCharacterize:
+    def test_positive_metrics_for_every_design(self, any_design):
+        array = build_array(any_design, GEO)
+        report = characterize(array, n_searches=2)
+        assert report.energy_per_search > 0.0
+        assert report.cycle_time > 0.0
+        assert report.search_delay > 0.0
+
+    def test_deterministic_under_seed(self):
+        a = characterize(build_array(get_design("fefet2t"), GEO), n_searches=3)
+        b = characterize(build_array(get_design("fefet2t"), GEO), n_searches=3)
+        assert a.energy_per_search == b.energy_per_search
+
+    def test_fefet_edp_beats_cmos(self):
+        fefet = characterize(build_array(get_design("fefet2t"), GEO), n_searches=3)
+        cmos = characterize(build_array(get_design("cmos16t"), GEO), n_searches=3)
+        assert fefet.edp < cmos.edp
+
+    def test_rejects_zero_searches(self):
+        with pytest.raises(AnalysisError):
+            characterize(build_array(get_design("fefet2t"), GEO), n_searches=0)

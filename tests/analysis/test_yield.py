@@ -1,0 +1,60 @@
+"""Tests for failure-probability aggregation and the sigma sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.yieldest import failure_rate_vs_sigma, search_failure_probability
+from repro.core import build_array, get_design
+from repro.devices.variability import NOMINAL_VARIATION
+from repro.errors import AnalysisError
+from repro.tcam import ArrayGeometry
+
+
+class TestAggregation:
+    def test_zero_rate_stays_zero(self):
+        assert search_failure_probability(0.0, 1024) == 0.0
+
+    def test_certain_failure(self):
+        assert search_failure_probability(1.0, 2) == 1.0
+
+    def test_small_rate_scales_with_rows(self):
+        p1 = search_failure_probability(1e-6, 1)
+        p1024 = search_failure_probability(1e-6, 1024)
+        assert p1024 == pytest.approx(1024 * p1, rel=1e-2)
+
+    def test_bounded_by_one(self):
+        assert search_failure_probability(0.01, 100000) <= 1.0
+
+    def test_monotone_in_rows(self):
+        assert search_failure_probability(0.001, 10) < search_failure_probability(
+            0.001, 1000
+        )
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(AnalysisError):
+            search_failure_probability(1.5, 10)
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(AnalysisError):
+            search_failure_probability(0.1, 0)
+
+
+class TestSigmaSweep:
+    def test_sweep_structure_and_monotone_failures(self):
+        arr = build_array(get_design("fefet2t_lv"), ArrayGeometry(8, 32))
+        results = failure_rate_vs_sigma(
+            arr, NOMINAL_VARIATION, np.array([0.0, 4.0, 12.0]), n_samples=150
+        )
+        assert len(results) == 3
+        scales = [s for s, _ in results]
+        assert scales == [0.0, 4.0, 12.0]
+        rates = [mc.failure_rate for _, mc in results]
+        assert rates[0] == 0.0
+        assert rates[0] <= rates[1] <= rates[2]
+
+    def test_rejects_negative_scale(self):
+        arr = build_array(get_design("fefet2t"), ArrayGeometry(4, 16))
+        with pytest.raises(AnalysisError):
+            failure_rate_vs_sigma(arr, NOMINAL_VARIATION, np.array([-1.0]), n_samples=5)

@@ -1,0 +1,117 @@
+"""Tests for the NAND match string."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuits.nandstring import NANDMatchString, NANDStringParams
+from repro.errors import CircuitError
+
+
+def _params(n_cells=16, **overrides) -> NANDStringParams:
+    base = dict(
+        n_cells=n_cells,
+        r_on_per_cell=2e3,
+        c_node_per_cell=0.15e-15,
+        c_eval=1e-15,
+        i_off_per_cell=1e-10,
+    )
+    base.update(overrides)
+    return NANDStringParams(**base)
+
+
+def _string(n_cells=16, **overrides) -> NANDMatchString:
+    return NANDMatchString(_params(n_cells, **overrides), 0.9, 0.9)
+
+
+class TestParams:
+    def test_rejects_zero_cells(self):
+        with pytest.raises(CircuitError):
+            _params(n_cells=0)
+
+    def test_rejects_bad_resistance(self):
+        with pytest.raises(CircuitError):
+            _params(r_on_per_cell=0.0)
+
+    def test_rejects_bad_precharge(self):
+        with pytest.raises(CircuitError):
+            NANDMatchString(_params(), 0.0, 0.9)
+
+    def test_rejects_supply_below_precharge(self):
+        with pytest.raises(CircuitError):
+            NANDMatchString(_params(), 0.9, 0.5)
+
+
+class TestDelayScaling:
+    def test_elmore_grows_superlinearly(self):
+        """The ladder term makes 4x the cells cost well over 4x the delay."""
+        tau16 = _string(16).elmore_delay_constant
+        tau64 = _string(64).elmore_delay_constant
+        assert tau64 > 6.0 * tau16
+
+    def test_quadratic_limit_without_eval_cap(self):
+        """With c_eval negligible, tau ~ N(N+1)/2 exactly."""
+        tau_a = _string(10, c_eval=1e-21).elmore_delay_constant
+        tau_b = _string(20, c_eval=1e-21).elmore_delay_constant
+        assert tau_b / tau_a == pytest.approx((20 * 21) / (10 * 11), rel=1e-6)
+
+    def test_time_to_is_log_swing(self):
+        s = _string()
+        t_half = s.time_to(0.45)
+        assert t_half == pytest.approx(s.elmore_delay_constant * math.log(2.0), rel=1e-9)
+
+    def test_time_to_rejects_bad_threshold(self):
+        with pytest.raises(CircuitError):
+            _string().time_to(1.0)
+
+
+class TestEvaluate:
+    def test_match_conducts_within_generous_window(self):
+        s = _string()
+        result = s.evaluate(0, 0.45, 10 * s.time_to(0.45))
+        assert result.conducts
+        assert result.v_end < 0.45
+
+    def test_match_misses_short_window(self):
+        s = _string()
+        result = s.evaluate(0, 0.45, 0.1 * s.time_to(0.45))
+        assert not result.conducts
+
+    def test_broken_string_stays_high(self):
+        s = _string()
+        result = s.evaluate(1, 0.45, 2 * s.time_to(0.45))
+        assert not result.conducts
+        assert result.t_discharge == math.inf
+        assert result.v_end > 0.85
+
+    def test_broken_string_energy_tiny_vs_match(self):
+        """The NAND selling point: misses cost almost nothing."""
+        s = _string()
+        window = 2 * s.time_to(0.45)
+        e_match = s.evaluate(0, 0.45, window).energy
+        e_miss = s.evaluate(1, 0.45, window).energy
+        assert e_miss < 0.01 * e_match
+
+    def test_more_mismatches_same_as_one(self):
+        """Any break isolates the node; extra breaks change nothing."""
+        s = _string()
+        window = s.time_to(0.45)
+        r1 = s.evaluate(1, 0.45, window)
+        r5 = s.evaluate(5, 0.45, window)
+        assert r1.v_end == pytest.approx(r5.v_end)
+        assert r1.energy == pytest.approx(r5.energy)
+
+    def test_catastrophic_leak_fails_safe_detection(self):
+        s = _string(i_off_per_cell=1e-4)
+        result = s.evaluate(1, 0.45, 1e-9)
+        assert result.conducts  # phantom match: the failure mode exists
+
+    def test_rejects_negative_mismatches(self):
+        with pytest.raises(CircuitError):
+            _string().evaluate(-1, 0.45, 1e-9)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(CircuitError):
+            _string().evaluate(0, 0.45, 0.0)

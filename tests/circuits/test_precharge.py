@@ -1,0 +1,83 @@
+"""Tests for the precharge schemes -- where Design LV's energy story lives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.precharge import ClampedPrecharge, FullSwingPrecharge
+from repro.errors import CircuitError
+
+C_ML = 10e-15
+VDD = 0.9
+
+
+class TestFullSwing:
+    def test_target_is_vdd(self):
+        assert FullSwingPrecharge(VDD).target_voltage() == VDD
+
+    def test_full_restore_energy_cv2(self):
+        p = FullSwingPrecharge(VDD)
+        assert p.restore_energy(C_ML, 0.0) == pytest.approx(C_ML * VDD * VDD)
+
+    def test_droop_restore_linear(self):
+        p = FullSwingPrecharge(VDD)
+        assert p.restore_energy(C_ML, 0.8) == pytest.approx(C_ML * 0.1 * VDD, rel=1e-6)
+
+    def test_no_restore_needed_at_target(self):
+        p = FullSwingPrecharge(VDD)
+        assert p.restore_energy(C_ML, VDD) == pytest.approx(0.0)
+        assert p.restore_time(C_ML, VDD) == 0.0
+
+    def test_restore_time_positive_and_monotone(self):
+        p = FullSwingPrecharge(VDD)
+        assert p.restore_time(C_ML, 0.0) > p.restore_time(C_ML, 0.5) > 0.0
+
+    def test_rejects_v_from_outside_range(self):
+        p = FullSwingPrecharge(VDD)
+        with pytest.raises(CircuitError):
+            p.restore_energy(C_ML, -0.1)
+        with pytest.raises(CircuitError):
+            p.restore_energy(C_ML, 1.0)
+
+    def test_rejects_bad_settle_fraction(self):
+        with pytest.raises(CircuitError):
+            FullSwingPrecharge(VDD, settle_fraction=1.0)
+
+
+class TestClamped:
+    def test_target_below_vdd(self):
+        p = ClampedPrecharge(vdd=VDD, v_target=0.5)
+        assert p.target_voltage() == 0.5
+
+    def test_energy_linear_in_swing(self):
+        """The LV saving: E = C * V_ML * VDD rather than C * VDD^2."""
+        p = ClampedPrecharge(vdd=VDD, v_target=0.5)
+        assert p.restore_energy(C_ML, 0.0) == pytest.approx(C_ML * 0.5 * VDD)
+
+    def test_half_swing_costs_half_of_full_swing(self):
+        full = FullSwingPrecharge(VDD).restore_energy(C_ML, 0.0)
+        half = ClampedPrecharge(vdd=VDD, v_target=VDD / 2).restore_energy(C_ML, 0.0)
+        assert half == pytest.approx(full / 2.0)
+
+    def test_no_energy_above_clamp(self):
+        p = ClampedPrecharge(vdd=VDD, v_target=0.5)
+        assert p.restore_energy(C_ML, 0.6) == 0.0
+
+    def test_restore_time_positive(self):
+        p = ClampedPrecharge(vdd=VDD, v_target=0.5)
+        assert p.restore_time(C_ML, 0.0) > 0.0
+        assert p.restore_time(C_ML, 0.6) == 0.0
+
+    def test_rejects_target_above_vdd(self):
+        with pytest.raises(CircuitError):
+            ClampedPrecharge(vdd=VDD, v_target=1.0)
+
+    def test_rejects_zero_target(self):
+        with pytest.raises(CircuitError):
+            ClampedPrecharge(vdd=VDD, v_target=0.0)
+
+    def test_clamped_restore_slower_per_volt_than_full(self):
+        """The follower weakens near its clamp point."""
+        full = FullSwingPrecharge(VDD, r_device=6e3)
+        clamp = ClampedPrecharge(vdd=VDD, v_target=VDD * 0.999, r_device=6e3)
+        assert clamp.restore_time(C_ML, 0.0) > full.restore_time(C_ML, 0.0)

@@ -1,0 +1,94 @@
+"""Tests for the two sense-amplifier models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.senseamp import CurrentRaceSenseAmp, VoltageSenseAmp
+from repro.errors import CircuitError
+
+
+class TestVoltageSenseAmp:
+    def test_above_reference_is_match(self):
+        sa = VoltageSenseAmp(v_ref=0.45)
+        assert sa.strobe(0.8).is_match
+
+    def test_below_reference_is_miss(self):
+        sa = VoltageSenseAmp(v_ref=0.45)
+        assert not sa.strobe(0.1).is_match
+
+    def test_offset_shifts_threshold(self):
+        sa = VoltageSenseAmp(v_ref=0.45, offset=0.10)
+        assert not sa.strobe(0.50).is_match  # effective threshold 0.55
+        assert sa.strobe(0.60).is_match
+
+    def test_margin_sign_and_magnitude(self):
+        sa = VoltageSenseAmp(v_ref=0.45)
+        d = sa.strobe(0.65)
+        assert d.margin == pytest.approx(0.20)
+
+    def test_energy_constant_per_strobe(self):
+        sa = VoltageSenseAmp(v_ref=0.45)
+        assert sa.strobe(0.8).energy == pytest.approx(sa.c_internal * sa.vdd**2)
+
+    def test_small_overdrive_slower_regeneration(self):
+        sa = VoltageSenseAmp(v_ref=0.45)
+        assert sa.strobe(0.46).delay > sa.strobe(0.9).delay
+
+    def test_input_capacitance_exposed(self):
+        assert VoltageSenseAmp(v_ref=0.45).input_capacitance > 0.0
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(CircuitError):
+            VoltageSenseAmp(v_ref=0.0)
+
+
+class TestCurrentRaceSenseAmp:
+    def test_clean_match_trips(self):
+        sa = CurrentRaceSenseAmp()
+        d = sa.evaluate(c_ml=10e-15, i_pulldown_total=0.0)
+        assert d.is_match
+
+    def test_single_strong_miss_never_trips(self):
+        sa = CurrentRaceSenseAmp(i_race=2e-6)
+        d = sa.evaluate(c_ml=10e-15, i_pulldown_total=50e-6)
+        assert not d.is_match
+
+    def test_miss_energy_bounded_by_window_burn(self):
+        sa = CurrentRaceSenseAmp(i_race=2e-6)
+        d = sa.evaluate(c_ml=10e-15, i_pulldown_total=50e-6)
+        burn = sa.i_race * sa.vdd * sa.t_window
+        assert d.energy <= burn + sa.c_internal * sa.vdd**2 + 1e-21
+
+    def test_match_slower_with_bigger_line(self):
+        sa = CurrentRaceSenseAmp()
+        d_small = sa.evaluate(c_ml=5e-15, i_pulldown_total=0.0)
+        d_big = sa.evaluate(c_ml=20e-15, i_pulldown_total=0.0)
+        assert d_big.delay > d_small.delay
+
+    def test_leakage_close_to_race_current_fails_window(self):
+        """When leakage nearly cancels the source, the line cannot trip in
+        time -- the failure mode limiting word width for Design CR."""
+        sa = CurrentRaceSenseAmp(i_race=2e-6, t_window=400e-12)
+        d = sa.evaluate(c_ml=10e-15, i_pulldown_total=1.999e-6)
+        assert not d.is_match
+
+    def test_negative_trip_offset_forces_match(self):
+        sa = CurrentRaceSenseAmp(offset=-1.0)
+        assert sa.evaluate(10e-15, 1e-3).is_match
+
+    def test_rejects_bad_race_current(self):
+        with pytest.raises(CircuitError):
+            CurrentRaceSenseAmp(i_race=0.0)
+
+    def test_rejects_bad_trip_point(self):
+        with pytest.raises(CircuitError):
+            CurrentRaceSenseAmp(v_trip=1.5, vdd=0.9)
+
+    def test_rejects_bad_cml(self):
+        with pytest.raises(CircuitError):
+            CurrentRaceSenseAmp().evaluate(0.0, 1e-6)
+
+    def test_rejects_negative_pulldown(self):
+        with pytest.raises(CircuitError):
+            CurrentRaceSenseAmp().evaluate(1e-15, -1e-6)

@@ -1,0 +1,35 @@
+"""Tests for wire parasitics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.wire import M2_WIRE, M4_WIRE, WireModel
+from repro.errors import CircuitError
+from repro.units import FEMTO, MICRO
+
+
+class TestWireModel:
+    def test_m2_per_micron_values(self):
+        assert M2_WIRE.capacitance(MICRO) == pytest.approx(0.20 * FEMTO)
+        assert M2_WIRE.resistance(MICRO) == pytest.approx(3.0)
+
+    def test_linear_in_length(self):
+        assert M4_WIRE.capacitance(10 * MICRO) == pytest.approx(
+            10 * M4_WIRE.capacitance(MICRO)
+        )
+
+    def test_zero_length_zero_parasitics(self):
+        assert M2_WIRE.capacitance(0.0) == 0.0
+        assert M2_WIRE.resistance(0.0) == 0.0
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(CircuitError):
+            M2_WIRE.capacitance(-1.0)
+
+    def test_rejects_non_physical_constants(self):
+        with pytest.raises(CircuitError):
+            WireModel(name="bad", r_per_m=1.0, c_per_m=0.0)
+
+    def test_m4_less_resistive_than_m2(self):
+        assert M4_WIRE.r_per_m < M2_WIRE.r_per_m

@@ -1,0 +1,51 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import all_designs, build_array, get_design
+from repro.tcam import ArrayGeometry
+from repro.tcam.cells import CMOS16TCell, FeFET2TCell, ReRAM2T2RCell
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_geometry() -> ArrayGeometry:
+    """A small array shape that keeps per-test runtime negligible."""
+    return ArrayGeometry(rows=8, cols=16)
+
+
+@pytest.fixture
+def medium_geometry() -> ArrayGeometry:
+    """A moderately sized shape for integration-style tests."""
+    return ArrayGeometry(rows=32, cols=32)
+
+
+@pytest.fixture(params=["cmos16t", "reram2t2r", "fefet2t"])
+def any_cell(request):
+    """One cell descriptor per technology (parametrized)."""
+    factories = {
+        "cmos16t": CMOS16TCell,
+        "reram2t2r": ReRAM2T2RCell,
+        "fefet2t": FeFET2TCell,
+    }
+    return factories[request.param]()
+
+
+@pytest.fixture(params=[spec.name for spec in all_designs()])
+def any_design(request):
+    """Every registered design (parametrized)."""
+    return get_design(request.param)
+
+
+@pytest.fixture
+def fefet_array(small_geometry):
+    """A small plain FeFET array."""
+    return build_array(get_design("fefet2t"), small_geometry)

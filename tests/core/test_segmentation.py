@@ -1,0 +1,92 @@
+"""Tests for the segmentation analytics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.segmentation import (
+    expected_energy_ratio,
+    expected_survivor_fraction,
+    optimal_probe_width,
+)
+from repro.errors import DesignError
+
+
+class TestSurvivorFraction:
+    def test_binary_probe(self):
+        assert expected_survivor_fraction(4, 0.0) == pytest.approx(2**-4)
+
+    def test_all_x_survives_everything(self):
+        assert expected_survivor_fraction(10, 1.0) == pytest.approx(1.0)
+
+    def test_zero_probe_is_one(self):
+        assert expected_survivor_fraction(0, 0.3) == 1.0
+
+    @given(
+        s=st.integers(min_value=1, max_value=32),
+        x=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40)
+    def test_in_unit_interval_and_monotone(self, s, x):
+        f = expected_survivor_fraction(s, x)
+        assert 0.0 <= f <= 1.0
+        assert expected_survivor_fraction(s + 1, x) <= f + 1e-12
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DesignError):
+            expected_survivor_fraction(-1, 0.0)
+        with pytest.raises(DesignError):
+            expected_survivor_fraction(2, 1.5)
+
+    def test_matches_monte_carlo(self, rng):
+        """The analytic formula agrees with sampled ternary matching."""
+        s, x = 6, 0.3
+        n = 20000
+        stored = rng.integers(0, 2, size=(n, s))
+        xmask = rng.random((n, s)) < x
+        key = rng.integers(0, 2, size=s)
+        col_match = xmask | (stored == key[np.newaxis, :])
+        frac = float(np.mean(col_match.all(axis=1)))
+        assert frac == pytest.approx(expected_survivor_fraction(s, x), abs=0.01)
+
+
+class TestEnergyRatio:
+    def test_no_probe_no_saving(self):
+        assert expected_energy_ratio(0, 64, 0.0) == 1.0
+
+    def test_reasonable_probe_saves(self):
+        assert expected_energy_ratio(8, 64, 0.0) < 0.25
+
+    def test_full_probe_no_saving(self):
+        assert expected_energy_ratio(64, 64, 0.0) == pytest.approx(1.0)
+
+    def test_rejects_probe_above_cols(self):
+        with pytest.raises(DesignError):
+            expected_energy_ratio(65, 64, 0.0)
+
+
+class TestOptimalProbe:
+    def test_optimum_beats_neighbours(self):
+        plan = optimal_probe_width(64, x_fraction=0.0)
+        s = plan.probe_cols
+        assert plan.expected_energy_ratio <= expected_energy_ratio(s - 1, 64, 0.0)
+        assert plan.expected_energy_ratio <= expected_energy_ratio(s + 1, 64, 0.0)
+
+    def test_optimum_small_for_binary_data(self):
+        plan = optimal_probe_width(64, x_fraction=0.0)
+        assert 2 <= plan.probe_cols <= 12
+
+    def test_x_heavy_data_needs_wider_probe(self):
+        binary = optimal_probe_width(64, x_fraction=0.0)
+        ternary = optimal_probe_width(64, x_fraction=0.5)
+        assert ternary.probe_cols > binary.probe_cols
+
+    def test_rejects_tiny_word(self):
+        with pytest.raises(DesignError):
+            optimal_probe_width(1)
+
+    def test_ratio_below_one_for_wide_words(self):
+        assert optimal_probe_width(128, 0.3).expected_energy_ratio < 0.5

@@ -1,0 +1,109 @@
+"""Tests for device-card serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devices.cards import from_card, load_card, save_card, to_card
+from repro.devices.fefet import FeFETParams
+from repro.devices.material import HZO_10NM
+from repro.devices.mosfet import nmos_45nm
+from repro.devices.resistive import ReRAMParams
+from repro.errors import DeviceError
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "obj",
+        [HZO_10NM, FeFETParams(), nmos_45nm(), ReRAMParams()],
+        ids=["material", "fefet", "mosfet", "reram"],
+    )
+    def test_dict_round_trip(self, obj):
+        assert from_card(to_card(obj)) == obj
+
+    def test_file_round_trip(self, tmp_path):
+        path = save_card(tmp_path / "fefet.json", FeFETParams(memory_window=1.5))
+        loaded = load_card(path)
+        assert loaded.memory_window == 1.5
+        assert loaded == FeFETParams(memory_window=1.5)
+
+    def test_nested_material_round_trips(self):
+        card = to_card(FeFETParams())
+        assert card["material"]["kind"] == "ferro_material"
+        rebuilt = from_card(card)
+        assert rebuilt.material == HZO_10NM
+
+    def test_json_is_plain(self, tmp_path):
+        path = save_card(tmp_path / "m.json", HZO_10NM)
+        data = json.loads(path.read_text())
+        assert data["kind"] == "ferro_material"
+        assert data["p_rem"] == pytest.approx(0.20)
+
+
+class TestPropertyRoundTrip:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        window=st.floats(min_value=0.5, max_value=2.0),
+        vt_mid=st.floats(min_value=0.5, max_value=1.5),
+        width=st.floats(min_value=30e-9, max_value=500e-9),
+        v_prog=st.floats(min_value=2.0, max_value=6.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_fefet_params_round_trip(self, window, vt_mid, width, v_prog):
+        params = FeFETParams(
+            memory_window=window, vt_mid=vt_mid, width=width, program_voltage=v_prog
+        )
+        assert from_card(to_card(params)) == params
+
+    @given(
+        r_lrs=st.floats(min_value=1e3, max_value=1e5),
+        ratio=st.floats(min_value=2.0, max_value=1e4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_reram_params_round_trip(self, r_lrs, ratio):
+        params = ReRAMParams(r_lrs=r_lrs, r_hrs=r_lrs * ratio)
+        assert from_card(to_card(params)) == params
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DeviceError, match="unknown card kind"):
+            from_card({"kind": "quantum_dot"})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(DeviceError):
+            from_card({"p_rem": 0.2})
+
+    def test_unknown_field_rejected(self):
+        card = to_card(ReRAMParams())
+        card["flux_capacitance"] = 1.21
+        with pytest.raises(DeviceError, match="unknown field"):
+            from_card(card)
+
+    def test_incomplete_card_rejected(self):
+        with pytest.raises(DeviceError, match="incomplete"):
+            from_card({"kind": "ferro_material", "p_rem": 0.2})
+
+    def test_field_validation_still_applies(self):
+        card = to_card(HZO_10NM)
+        card["p_rem"] = 0.9  # exceeds p_sat -> material validation fires
+        with pytest.raises(DeviceError):
+            from_card(card)
+
+    def test_unserializable_object_rejected(self):
+        with pytest.raises(DeviceError, match="no card kind"):
+            to_card(object())
+
+    def test_broken_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(DeviceError, match="cannot read"):
+            load_card(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DeviceError):
+            load_card(tmp_path / "nope.json")

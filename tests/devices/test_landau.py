@@ -1,0 +1,118 @@
+"""Tests for the Landau-Khalatnikov model, including Preisach cross-validation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices.landau import LandauKhalatnikov, LKParams
+from repro.devices.material import HZO_10NM
+from repro.devices.preisach import loop_coercive_voltage, saturation_loop
+from repro.errors import DeviceError
+
+PARAMS = LKParams.from_material(HZO_10NM)
+
+
+class TestCoefficients:
+    def test_well_position_is_pr(self):
+        assert PARAMS.p_spontaneous == pytest.approx(HZO_10NM.p_rem)
+
+    def test_intrinsic_coercive_field_matches_material(self):
+        assert PARAMS.e_coercive_intrinsic == pytest.approx(HZO_10NM.e_coercive)
+
+    def test_rejects_non_positive_coefficients(self):
+        with pytest.raises(DeviceError):
+            LKParams(alpha=0.0, beta=1.0, rho=1.0)
+
+    def test_viscosity_sets_switching_scale(self):
+        fast = LKParams.from_material(HZO_10NM, switch_time_2x=1e-10)
+        slow = LKParams.from_material(HZO_10NM, switch_time_2x=1e-8)
+        assert fast.rho < slow.rho
+
+
+class TestDynamics:
+    def test_wells_are_stationary(self):
+        lk = LandauKhalatnikov(PARAMS, p_initial=PARAMS.p_spontaneous)
+        lk.step(0.0, 1e-10)
+        assert lk.polarization == pytest.approx(PARAMS.p_spontaneous, rel=1e-9)
+
+    def test_zero_crossing_time_at_2x_overdrive_about_1ns(self):
+        lk = LandauKhalatnikov(PARAMS)
+        t = lk.switching_time(2.0 * HZO_10NM.e_coercive)
+        assert 0.3e-9 < t < 3e-9
+
+    def test_switching_faster_with_overdrive(self):
+        lk = LandauKhalatnikov(PARAMS)
+        t2 = lk.switching_time(2.0 * HZO_10NM.e_coercive)
+        t3 = lk.switching_time(3.0 * HZO_10NM.e_coercive)
+        assert t3 < t2
+
+    def test_subcoercive_field_never_switches(self):
+        lk = LandauKhalatnikov(PARAMS)
+        assert lk.switching_time(0.9 * HZO_10NM.e_coercive, t_max=1e-6) == math.inf
+
+    def test_transient_tracks_relaxation(self):
+        lk = LandauKhalatnikov(PARAMS, p_initial=0.5 * PARAMS.p_spontaneous)
+        trace = lk.transient(np.zeros(500), dt=1e-11)
+        # From half-well the state relaxes outward to the positive well.
+        assert trace[-1] == pytest.approx(PARAMS.p_spontaneous, rel=1e-3)
+        assert np.all(np.diff(trace) >= -1e-9)
+
+    def test_step_rejects_bad_dt(self):
+        with pytest.raises(DeviceError):
+            LandauKhalatnikov(PARAMS).step(0.0, 0.0)
+
+
+class TestQuasiStaticLoop:
+    @pytest.fixture(scope="class")
+    def loop(self):
+        lk = LandauKhalatnikov(PARAMS)
+        return lk.quasi_static_loop(3.0 * HZO_10NM.e_coercive, n_points=120)
+
+    def test_loop_is_hysteretic(self, loop):
+        fields, pol = loop
+        half = len(fields) // 2
+        i_up = int(np.argmin(np.abs(fields[:half])))
+        i_down = half + int(np.argmin(np.abs(fields[half:])))
+        assert pol[i_down] > pol[i_up]
+
+    def test_remanence_matches_material(self, loop):
+        fields, pol = loop
+        half = len(fields) // 2
+        i_down = half + int(np.argmin(np.abs(fields[half:])))
+        assert pol[i_down] == pytest.approx(HZO_10NM.p_rem, rel=0.05)
+
+    def test_coercive_field_within_10pct_of_intrinsic(self, loop):
+        fields, pol = loop
+        half = len(fields) // 2
+        cross = np.flatnonzero(np.diff(np.signbit(pol[:half])))
+        assert cross.size
+        e_c = fields[:half][int(cross[0]) + 1]
+        assert e_c == pytest.approx(HZO_10NM.e_coercive, rel=0.10)
+
+    def test_rejects_bad_field_range(self):
+        with pytest.raises(DeviceError):
+            LandauKhalatnikov(PARAMS).quasi_static_loop(0.0)
+
+
+class TestCrossValidation:
+    def test_lk_and_preisach_agree_on_loop_landmarks(self):
+        """The two independent ferroelectric engines must agree on the
+        remanence exactly and on the coercive voltage within the domain
+        spread the Preisach ensemble carries."""
+        lk = LandauKhalatnikov(PARAMS)
+        fields, pol = lk.quasi_static_loop(3.0 * HZO_10NM.e_coercive, n_points=160)
+
+        v, p = saturation_loop(HZO_10NM, 3.0, n_points=201, n_domains=512,
+                               rng=np.random.default_rng(0))
+        vc_preisach = loop_coercive_voltage(v, p)
+
+        half = len(fields) // 2
+        cross = np.flatnonzero(np.diff(np.signbit(pol[:half])))
+        vc_lk = fields[:half][int(cross[0]) + 1] * HZO_10NM.thickness
+
+        assert vc_lk == pytest.approx(vc_preisach, rel=0.20)
+        i_down = half + int(np.argmin(np.abs(fields[half:])))
+        assert pol[i_down] == pytest.approx(p.max(), rel=0.05)

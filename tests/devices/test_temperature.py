@@ -1,0 +1,72 @@
+"""Tests for the temperature scaling model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.fefet import FeFETParams
+from repro.devices.mosfet import MOSFET, nmos_45nm
+from repro.devices.temperature import TemperatureModel
+from repro.errors import DeviceError
+
+
+class TestScalings:
+    def test_reference_temperature_is_identity(self):
+        tm = TemperatureModel()
+        assert tm.vt_shift(tm.t_ref) == 0.0
+        assert tm.kp_scale(tm.t_ref) == pytest.approx(1.0)
+        assert tm.window_scale(tm.t_ref) == pytest.approx(1.0)
+
+    def test_vt_decreases_when_hot(self):
+        tm = TemperatureModel()
+        assert tm.vt_shift(400.0) < 0.0
+
+    def test_mobility_degrades_when_hot(self):
+        tm = TemperatureModel()
+        assert tm.kp_scale(400.0) < 1.0
+
+    def test_window_shrinks_when_hot(self):
+        tm = TemperatureModel()
+        assert tm.window_scale(400.0) < 1.0
+
+    def test_window_floor(self):
+        tm = TemperatureModel(window_dt_rel=-0.1)
+        assert tm.window_scale(5000.0) == pytest.approx(0.1)
+
+    def test_rejects_non_positive_temperature(self):
+        tm = TemperatureModel()
+        with pytest.raises(DeviceError):
+            tm.vt_shift(0.0)
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(DeviceError):
+            TemperatureModel(t_ref=-1.0)
+
+
+class TestDeviceRescaling:
+    def test_mosfet_at_hot_corner(self):
+        tm = TemperatureModel()
+        hot = tm.mosfet_at(nmos_45nm(), 398.15)  # 125 C
+        assert hot.vt0 < nmos_45nm().vt0
+        assert hot.kp < nmos_45nm().kp
+
+    def test_fefet_at_hot_corner(self):
+        tm = TemperatureModel()
+        base = FeFETParams()
+        hot = tm.fefet_at(base, 398.15)
+        assert hot.vt_mid < base.vt_mid
+        assert hot.memory_window < base.memory_window
+
+    def test_hot_mosfet_leaks_more(self):
+        """Combined VT shift + EKV thermal voltage: leakage rises with T."""
+        tm = TemperatureModel()
+        cold = MOSFET(nmos_45nm(), temperature_k=300.0)
+        hot_params = tm.mosfet_at(nmos_45nm(), 398.15)
+        hot = MOSFET(hot_params, temperature_k=398.15)
+        assert hot.off_current(0.9) > 10.0 * cold.off_current(0.9)
+
+    def test_hot_mosfet_drives_less(self):
+        tm = TemperatureModel()
+        cold = MOSFET(nmos_45nm(), temperature_k=300.0)
+        hot = MOSFET(tm.mosfet_at(nmos_45nm(), 398.15), temperature_k=398.15)
+        assert hot.on_current(0.9) < cold.on_current(0.9)

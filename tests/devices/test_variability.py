@@ -1,0 +1,104 @@
+"""Tests for variation specs and samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.variability import (
+    NOMINAL_VARIATION,
+    NO_VARIATION,
+    VariationSpec,
+    pelgrom_sigma,
+    sample_variation,
+    sample_vt_offsets,
+)
+from repro.errors import DeviceError
+
+
+class TestSpec:
+    def test_no_variation_is_all_zero(self):
+        assert NO_VARIATION.sigma_vt_fefet == 0.0
+        assert NO_VARIATION.sa_offset_sigma == 0.0
+
+    def test_nominal_matches_literature_order(self):
+        assert 0.02 < NOMINAL_VARIATION.sigma_vt_fefet < 0.10
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(DeviceError):
+            VariationSpec(sigma_vt_fefet=-0.01)
+
+    @given(factor=st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_scaled_multiplies_every_sigma(self, factor):
+        s = NOMINAL_VARIATION.scaled(factor)
+        assert s.sigma_vt_fefet == pytest.approx(NOMINAL_VARIATION.sigma_vt_fefet * factor)
+        assert s.sa_offset_sigma == pytest.approx(NOMINAL_VARIATION.sa_offset_sigma * factor)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(DeviceError):
+            NOMINAL_VARIATION.scaled(-1.0)
+
+
+class TestSamplers:
+    def test_offsets_shape(self):
+        rng = np.random.default_rng(0)
+        offsets = sample_vt_offsets(NOMINAL_VARIATION, 100, rng)
+        assert offsets.shape == (100,)
+
+    def test_zero_sigma_gives_zeros(self):
+        rng = np.random.default_rng(0)
+        offsets = sample_vt_offsets(NO_VARIATION, 10, rng)
+        assert np.all(offsets == 0.0)
+
+    def test_offsets_std_matches_sigma(self):
+        rng = np.random.default_rng(1)
+        offsets = sample_vt_offsets(NOMINAL_VARIATION, 20000, rng)
+        assert np.std(offsets) == pytest.approx(NOMINAL_VARIATION.sigma_vt_fefet, rel=0.05)
+
+    def test_mosfet_kind_uses_mosfet_sigma(self):
+        rng = np.random.default_rng(2)
+        offsets = sample_vt_offsets(NOMINAL_VARIATION, 20000, rng, kind="mosfet")
+        assert np.std(offsets) == pytest.approx(NOMINAL_VARIATION.sigma_vt_mosfet, rel=0.05)
+
+    def test_rejects_unknown_kind(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DeviceError):
+            sample_vt_offsets(NOMINAL_VARIATION, 5, rng, kind="finfet")
+
+    def test_rejects_negative_count(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DeviceError):
+            sample_vt_offsets(NOMINAL_VARIATION, -1, rng)
+
+    def test_full_sample_fields(self):
+        rng = np.random.default_rng(3)
+        s = sample_variation(NOMINAL_VARIATION, n_fefets=4, n_mosfets=2, rng=rng)
+        assert s.vt_offset_fefet.shape == (4,)
+        assert s.vt_offset_mosfet.shape == (2,)
+        assert s.window_scale > 0.0
+        assert s.cap_scale > 0.0
+
+    def test_full_sample_deterministic_under_seed(self):
+        s1 = sample_variation(NOMINAL_VARIATION, 4, 2, np.random.default_rng(9))
+        s2 = sample_variation(NOMINAL_VARIATION, 4, 2, np.random.default_rng(9))
+        assert np.array_equal(s1.vt_offset_fefet, s2.vt_offset_fefet)
+        assert s1.sa_offset == s2.sa_offset
+
+
+class TestPelgrom:
+    def test_sigma_scales_inverse_sqrt_area(self):
+        s1 = pelgrom_sigma(2.5e-9, 90e-9, 30e-9)
+        s2 = pelgrom_sigma(2.5e-9, 180e-9, 60e-9)
+        assert s1 / s2 == pytest.approx(2.0)
+
+    def test_rejects_zero_geometry(self):
+        with pytest.raises(DeviceError):
+            pelgrom_sigma(2.5e-9, 0.0, 30e-9)
+
+    def test_literature_order_of_magnitude(self):
+        """~2.5 mV*um Pelgrom coefficient on a 90x30 nm device -> tens of mV."""
+        sigma = pelgrom_sigma(2.5e-9, 90e-9, 30e-9)
+        assert 0.01 < sigma < 0.10

@@ -1,0 +1,104 @@
+"""Application-level failure injection.
+
+Device failures must surface as the right *application* misbehaviour:
+a retention-dead row in a router black-holes into a phantom route, a
+disturbed cell weakens toward don't-care and over-matches, and an
+offset-heavy sense amplifier breaks LPM entirely.  These tests pin the
+failure propagation end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.senseamp import VoltageSenseAmp
+from repro.core import build_array, get_design
+from repro.tcam import ArrayGeometry, TCAMArray, TernaryWord, Trit
+from repro.tcam.cells import FeFET2TCell
+from repro.tcam.trit import word_from_int
+from repro.workloads.iproute import synthetic_routing_table, trace_addresses
+
+
+def _router(rng, rows=64):
+    table = synthetic_routing_table(40, rng)
+    array = build_array(get_design("fefet2t"), ArrayGeometry(rows, 32))
+    table.deploy(array)
+    return table, array
+
+
+class TestRetentionLossInRouter:
+    def test_dead_row_becomes_phantom_default_route(self):
+        """A row whose polarization collapsed to all-X matches every
+        address; if it sits above the true route, lookups return it."""
+        rng = np.random.default_rng(71)
+        table, array = _router(rng)
+        # Kill row 0 (the longest prefix, highest priority).
+        array.write(0, TernaryWord([Trit.X] * 32))
+        hits = 0
+        for address in trace_addresses(table, 30, rng):
+            outcome = array.search(word_from_int(address, 32))
+            hits += outcome.first_match == 0
+        assert hits == 30  # the phantom row wins every lookup
+
+    def test_invalidated_row_fails_safe(self):
+        """Invalidate (instead of leaving a dead-X row) and the router
+        falls back to correct shorter prefixes."""
+        rng = np.random.default_rng(72)
+        table, array = _router(rng)
+        array.invalidate(0)
+        killed = table.routes[0]
+        for address in trace_addresses(table, 30, rng):
+            route, outcome = table.lookup_tcam(array, address)
+            if route is not None:
+                assert route is not killed
+            assert outcome.first_match != 0
+
+
+class TestSenseAmpFailuresInRouter:
+    def test_huge_offset_black_holes_all_lookups(self):
+        rng = np.random.default_rng(73)
+        table = synthetic_routing_table(30, rng)
+        array = TCAMArray(
+            FeFET2TCell(),
+            ArrayGeometry(64, 32),
+            sense_amp=VoltageSenseAmp(v_ref=0.45, offset=0.60),
+        )
+        table.deploy(array)
+        for address in trace_addresses(table, 10, rng):
+            route, outcome = table.lookup_tcam(array, address)
+            assert route is None  # every lookup misses
+        # And the errors are visible in the outcome accounting.
+        out = array.search(word_from_int(0, 32))
+        assert out.first_match is None
+
+
+class TestDisturbedCellOvermatches:
+    def test_weakened_pulldown_reads_as_match_under_short_strobe(self):
+        """A disturb-weakened LVT device (large positive VT shift) cannot
+        discharge its line inside the window: the row over-matches."""
+        from repro.analysis.margin import worst_case_margin
+
+        cell = FeFET2TCell()
+        array = build_array(get_design("fefet2t"), ArrayGeometry(4, 32))
+        corner = worst_case_margin(
+            cell,
+            array.c_ml,
+            32,
+            0.9,
+            0.9,
+            0.45,
+            array.t_eval,
+            pulldown_vt_offset=0.9,  # disturb ate most of the window
+        )
+        assert not corner.miss_read_correctly
+
+    def test_healthy_cell_same_corner_is_fine(self):
+        from repro.analysis.margin import worst_case_margin
+
+        cell = FeFET2TCell()
+        array = build_array(get_design("fefet2t"), ArrayGeometry(4, 32))
+        corner = worst_case_margin(
+            cell, array.c_ml, 32, 0.9, 0.9, 0.45, array.t_eval
+        )
+        assert corner.functional

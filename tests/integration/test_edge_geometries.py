@@ -1,0 +1,80 @@
+"""Degenerate-geometry tests: 1x1, 1xN and Nx1 arrays must still be exact.
+
+Tiny arrays exercise every boundary in the accounting (single-cell match
+lines, single-row priority encoders, empty leak ensembles) that normal
+workloads never touch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import all_designs, build_array
+from repro.tcam import ArrayGeometry, TernaryWord, Trit, random_word, word_from_string
+
+
+class TestOneByOne:
+    def test_store_and_find_single_trit(self, any_design):
+        arr = build_array(any_design, ArrayGeometry(1, 1))
+        arr.write(0, word_from_string("1"))
+        assert arr.search(word_from_string("1")).match_mask[0]
+        assert not arr.search(word_from_string("0")).match_mask[0]
+        assert arr.search(word_from_string("1")).functional_errors == 0
+
+    def test_stored_x_matches_both(self, any_design):
+        arr = build_array(any_design, ArrayGeometry(1, 1))
+        arr.write(0, word_from_string("X"))
+        assert arr.search(word_from_string("0")).match_mask[0]
+        assert arr.search(word_from_string("1")).match_mask[0]
+
+    def test_energy_positive_even_at_minimum(self, any_design):
+        arr = build_array(any_design, ArrayGeometry(1, 1))
+        arr.write(0, word_from_string("1"))
+        out = arr.search(word_from_string("0"))
+        assert out.energy_total > 0.0
+
+
+class TestSingleRow:
+    def test_wide_single_row(self, any_design):
+        rng = np.random.default_rng(0)
+        arr = build_array(any_design, ArrayGeometry(1, 64))
+        word = random_word(64, rng, x_fraction=0.3)
+        arr.write(0, word)
+        for _ in range(4):
+            key = random_word(64, rng)
+            out = arr.search(key)
+            assert bool(out.match_mask[0]) == word.matches(key)
+            assert out.functional_errors == 0
+
+
+class TestSingleColumn:
+    def test_tall_single_column(self, any_design):
+        rng = np.random.default_rng(1)
+        arr = build_array(any_design, ArrayGeometry(64, 1))
+        words = [random_word(1, rng, x_fraction=0.2) for _ in range(64)]
+        arr.load(words)
+        for key_char in ("0", "1"):
+            key = word_from_string(key_char)
+            out = arr.search(key)
+            expected = np.array([w.matches(key) for w in words])
+            assert np.array_equal(out.match_mask, expected)
+
+
+class TestFullyMaskedKeys:
+    def test_all_x_key_on_every_design(self, any_design):
+        rng = np.random.default_rng(2)
+        arr = build_array(any_design, ArrayGeometry(4, 8))
+        arr.load([random_word(8, rng) for _ in range(4)])
+        out = arr.search(TernaryWord([Trit.X] * 8))
+        assert out.match_mask.all()
+        assert out.functional_errors == 0
+
+    def test_nand_invalidate_parity(self):
+        from repro.core import get_design
+
+        arr = build_array(get_design("fefet_nand"), ArrayGeometry(2, 8))
+        arr.write(0, word_from_string("10101010"))
+        arr.invalidate(0)
+        out = arr.search(word_from_string("10101010"))
+        assert not out.match_mask.any()

@@ -1,0 +1,120 @@
+"""End-to-end integration tests across the full stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ArrayGeometry,
+    EnergyComponent,
+    all_designs,
+    build_array,
+    get_design,
+    random_word,
+)
+from repro.tcam.writer import WriteScheduler
+from repro.workloads.iproute import synthetic_routing_table, trace_addresses
+
+
+class TestEveryDesignFullPipeline:
+    """Write -> search -> verify -> account, for all five designs."""
+
+    def test_write_search_roundtrip(self, any_design):
+        rng = np.random.default_rng(31)
+        arr = build_array(any_design, ArrayGeometry(16, 32))
+        words = [random_word(32, rng, x_fraction=0.25) for _ in range(16)]
+        e_write = arr.load(words)
+        assert e_write.get(EnergyComponent.WRITE) > 0.0
+
+        errors = 0
+        for _ in range(10):
+            key = random_word(32, rng)
+            out = arr.search(key)
+            expected = np.array([w.matches(key) for w in words])
+            assert np.array_equal(out.match_mask, expected)
+            errors += out.functional_errors
+        assert errors == 0
+
+    def test_energy_ledger_complete(self, any_design):
+        """Every search books ML (or race), SL, decision and leakage terms."""
+        rng = np.random.default_rng(32)
+        arr = build_array(any_design, ArrayGeometry(8, 16))
+        arr.load([random_word(16, rng) for _ in range(8)])
+        out = arr.search(random_word(16, rng))
+        bd = out.energy.breakdown()
+        if any_design.sensing == "precharge":
+            assert bd.get(EnergyComponent.ML_PRECHARGE.value, 0.0) > 0.0
+            assert bd.get(EnergyComponent.SENSE_AMP.value, 0.0) > 0.0
+        elif any_design.sensing == "nand":
+            # A miss-dominated key barely moves any NAND string; the eval
+            # latch and search lines still show up.
+            assert bd.get(EnergyComponent.SENSE_AMP.value, 0.0) > 0.0
+        else:
+            assert bd.get(EnergyComponent.RACE_SOURCE.value, 0.0) > 0.0
+        assert bd.get(EnergyComponent.SEARCHLINE.value, 0.0) > 0.0
+        assert bd.get(EnergyComponent.LEAKAGE.value, 0.0) > 0.0
+        assert bd.get(EnergyComponent.PRIORITY_ENCODER.value, 0.0) > 0.0
+
+
+class TestHeadlineOrdering:
+    """The paper's headline claims, verified end-to-end on one workload."""
+
+    @pytest.fixture(scope="class")
+    def energies(self):
+        rng = np.random.default_rng(33)
+        geo = ArrayGeometry(32, 64)
+        words = [random_word(64, rng, x_fraction=0.3) for _ in range(32)]
+        keys = [random_word(64, rng) for _ in range(6)]
+        result = {}
+        for spec in all_designs():
+            arr = build_array(spec, geo)
+            arr.load(words)
+            result[spec.name] = sum(arr.search(k).energy_total for k in keys) / len(keys)
+        return result
+
+    def test_fefet_beats_cmos(self, energies):
+        assert energies["fefet2t"] < 0.7 * energies["cmos16t"]
+
+    def test_lv_beats_plain_fefet(self, energies):
+        assert energies["fefet2t_lv"] < 0.85 * energies["fefet2t"]
+
+    def test_cr_beats_plain_fefet(self, energies):
+        assert energies["fefet_cr"] < 0.85 * energies["fefet2t"]
+
+    def test_proposed_beat_cmos_by_at_least_2x(self, energies):
+        best = min(energies["fefet2t_lv"], energies["fefet_cr"])
+        assert energies["cmos16t"] / best > 2.0
+
+    def test_reram_between_cmos_and_fefet(self, energies):
+        assert energies["fefet2t"] < energies["reram2t2r"] <= energies["cmos16t"] * 1.05
+
+
+class TestApplicationPipeline:
+    def test_routing_updates_then_lookups(self):
+        """Incremental route updates through the scheduler, then lookups."""
+        rng = np.random.default_rng(34)
+        table = synthetic_routing_table(30, rng)
+        arr = build_array(get_design("fefet2t_lv"), ArrayGeometry(64, 32))
+        sched = WriteScheduler(arr)
+        _, e_initial, _ = sched.update(table.words())
+
+        # Replace five routes and update incrementally.
+        table2 = synthetic_routing_table(30, rng)
+        merged = table.words()[:25] + table2.words()[:5]
+        plan, e_update, _ = sched.update(merged)
+        assert len(plan.writes) <= 30
+        assert e_update.total < e_initial.total
+
+        for addr in trace_addresses(table, 10, rng):
+            _, outcome = table.lookup_tcam(arr, addr)
+            assert outcome.functional_errors == 0
+
+    def test_search_energy_much_smaller_than_write(self):
+        """FeFET searches are cheap; writes are the tax (shape claim R-T3)."""
+        rng = np.random.default_rng(35)
+        arr = build_array(get_design("fefet2t"), ArrayGeometry(16, 32))
+        words = [random_word(32, rng) for _ in range(16)]
+        e_write = arr.load(words).total / 16  # per word
+        e_search = arr.search(random_word(32, rng)).energy_total / 16  # per word-slot
+        assert e_write > 5.0 * e_search

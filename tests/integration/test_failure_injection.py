@@ -1,0 +1,95 @@
+"""Failure-injection tests: the physical decision path really can fail."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.precharge import ClampedPrecharge
+from repro.circuits.senseamp import VoltageSenseAmp
+from repro.core import build_array, get_design
+from repro.tcam import ArrayGeometry, TCAMArray, random_word
+from repro.tcam.cells import FeFET2TCell
+
+
+class TestSenseAmpOffsetFailures:
+    def test_huge_positive_offset_misses_real_matches(self):
+        """An SA that references far above the ML can never see a match."""
+        rng = np.random.default_rng(0)
+        geo = ArrayGeometry(8, 16)
+        arr = TCAMArray(
+            FeFET2TCell(),
+            geo,
+            sense_amp=VoltageSenseAmp(v_ref=0.45, offset=0.60),
+        )
+        words = [random_word(16, rng) for _ in range(8)]
+        arr.load(words)
+        out = arr.search(words[0])
+        assert not out.match_mask[0]
+        assert out.functional_errors > 0
+
+    def test_huge_negative_offset_reports_phantom_matches(self):
+        """An SA referenced near ground reads every discharged-but-slow line
+        as a match within a short window."""
+        rng = np.random.default_rng(1)
+        geo = ArrayGeometry(8, 16)
+        cell = FeFET2TCell()
+        arr = TCAMArray(
+            cell,
+            geo,
+            sense_amp=VoltageSenseAmp(v_ref=0.45, offset=-0.449),
+            t_eval=1e-12,  # strobe long before any line can discharge
+        )
+        words = [random_word(16, rng) for _ in range(8)]
+        arr.load(words)
+        key = random_word(16, rng)
+        out = arr.search(key)
+        logical = np.array([w.matches(key) for w in words])
+        if not logical.all():
+            assert out.functional_errors > 0
+
+
+class TestUndersizedSwing:
+    def test_tiny_ml_swing_still_functions_nominally(self):
+        """The nominal corner is robust even at low swing (the MC analysis,
+        not the nominal one, is what bounds the usable floor)."""
+        rng = np.random.default_rng(2)
+        arr = build_array(get_design("fefet2t_lv"), ArrayGeometry(8, 16), ml_swing=0.2)
+        words = [random_word(16, rng) for _ in range(8)]
+        arr.load(words)
+        out = arr.search(words[3])
+        assert out.match_mask[3]
+        assert out.functional_errors == 0
+
+    def test_short_eval_window_misreads_misses(self):
+        """Strobing before the single-miss line crosses the reference makes
+        every near-miss word look like a match."""
+        rng = np.random.default_rng(3)
+        cell = FeFET2TCell()
+        geo = ArrayGeometry(4, 16)
+        arr = TCAMArray(cell, geo, t_eval=1e-13)
+        words = [random_word(16, rng) for _ in range(4)]
+        arr.load(words)
+        # Key differing from word 0 in exactly one position.
+        flipped = words[0].as_array().copy()
+        flipped[0] = 1 - flipped[0]
+        from repro.tcam.trit import TernaryWord
+
+        out = arr.search(TernaryWord(flipped))
+        assert out.match_mask[0]  # physically misread
+        assert out.functional_errors >= 1
+
+
+class TestStuckCells:
+    def test_stuck_x_row_matches_everything(self):
+        """A row erased to all-X (retention loss) aliases as always-match."""
+        rng = np.random.default_rng(4)
+        arr = build_array(get_design("fefet2t"), ArrayGeometry(4, 16))
+        words = [random_word(16, rng) for _ in range(4)]
+        arr.load(words)
+        from repro.tcam.trit import TernaryWord, Trit
+
+        arr.write(2, TernaryWord([Trit.X] * 16))  # polarization lost
+        key = random_word(16, rng)
+        out = arr.search(key)
+        assert out.match_mask[2]  # phantom match on the damaged row

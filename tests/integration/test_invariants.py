@@ -1,0 +1,114 @@
+"""Cross-layer invariants, property-tested over random workloads.
+
+These encode physical facts the whole accounting must respect regardless
+of workload: energies are non-negative and additive, the full-swing ML
+restore always draws twice what the discharge dissipated (the other half
+burned in the precharge device), more mismatches can only discharge a
+line faster, and masking search columns can only reduce energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_array, get_design
+from repro.energy import EnergyComponent
+from repro.tcam import ArrayGeometry, TernaryWord, Trit, random_word
+
+
+def _loaded(seed: int, design: str = "fefet2t", rows: int = 8, cols: int = 16):
+    rng = np.random.default_rng(seed)
+    array = build_array(get_design(design), ArrayGeometry(rows, cols))
+    words = [random_word(cols, rng, x_fraction=0.25) for _ in range(rows)]
+    array.load(words)
+    return array, words, rng
+
+
+class TestEnergyInvariants:
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_every_component_non_negative(self, seed):
+        array, words, rng = _loaded(seed)
+        out = array.search(random_word(16, rng))
+        assert all(v >= 0.0 for v in out.energy.breakdown().values())
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_full_swing_restore_twice_dissipation(self, seed):
+        """Charging C by dV from a supply at V draws C*dV*V; with the full
+        swing (V_pre == VDD) exactly half lands on the capacitor, so the
+        ML restore must book ~2x the ML dissipation on fully discharged
+        lines -- a hard energy-conservation check on the accounting."""
+        array, words, rng = _loaded(seed)
+        out = array.search(random_word(16, rng))
+        restore = out.energy.get(EnergyComponent.ML_PRECHARGE)
+        dissipated = out.energy.get(EnergyComponent.ML_DISSIPATION)
+        if dissipated > 0.0:
+            assert restore == pytest.approx(2.0 * dissipated, rel=0.05)
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_masking_columns_never_increases_ml_energy(self, seed):
+        array_a, words, rng = _loaded(seed)
+        array_b, _, _ = _loaded(seed)
+        key = random_word(16, rng)
+        masked = TernaryWord(
+            [Trit.X if i < 8 else t for i, t in enumerate(key)]
+        )
+        e_full = array_a.search(key).energy.get(EnergyComponent.ML_PRECHARGE)
+        e_masked = array_b.search(masked).energy.get(EnergyComponent.ML_PRECHARGE)
+        assert e_masked <= e_full * (1.0 + 1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_search_outcome_total_matches_ledger(self, seed):
+        array, words, rng = _loaded(seed)
+        out = array.search(random_word(16, rng))
+        assert out.energy_total == pytest.approx(sum(out.energy.breakdown().values()))
+
+
+class TestTimingInvariants:
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_cycle_never_shorter_than_evaluation(self, seed):
+        array, words, rng = _loaded(seed)
+        out = array.search(random_word(16, rng))
+        assert out.cycle_time >= array.t_eval
+
+    def test_more_misses_cross_faster(self):
+        """Discharge time is non-increasing in the mismatch count."""
+        from repro.circuits.matchline import MatchLine, MatchLineLoad
+
+        array, _, _ = _loaded(0)
+        times = []
+        for n_miss in (1, 2, 4, 8):
+            load = MatchLineLoad(
+                array.c_ml, n_miss, 16 - n_miss,
+                array.cell.i_pulldown, array.cell.i_leak,
+            )
+            times.append(MatchLine(load, 0.9, 0.9).time_to(0.45))
+        assert times == sorted(times, reverse=True)
+
+
+class TestStateInvariants:
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_search_never_mutates_stored_data(self, seed):
+        array, words, rng = _loaded(seed)
+        before = array.stored_matrix()
+        array.search(random_word(16, rng))
+        assert np.array_equal(array.stored_matrix(), before)
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_physical_equals_logical_at_nominal_corner(self, seed):
+        """With no injected variation the physical decision path must agree
+        with the ternary algebra on every row, every design."""
+        for design in ("cmos16t", "fefet2t", "fefet2t_lv", "fefet_cr", "fefet_nand"):
+            array, words, rng = _loaded(seed, design=design)
+            key = random_word(16, rng)
+            out = array.search(key)
+            assert out.functional_errors == 0, design

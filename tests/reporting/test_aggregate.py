@@ -1,0 +1,52 @@
+"""Tests for the benchmark-artifact aggregator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.reporting.aggregate import aggregate_report, write_report
+
+
+def _populate(tmp_path):
+    (tmp_path / "R-T1_cells.txt").write_text("table one\n")
+    (tmp_path / "R-F2_waveforms.txt").write_text("figure two\n")
+    (tmp_path / "R-F10_temperature.txt").write_text("figure ten\n")
+    return tmp_path
+
+
+class TestAggregate:
+    def test_includes_every_artifact(self, tmp_path):
+        report = aggregate_report(_populate(tmp_path))
+        assert "R-T1_cells" in report
+        assert "figure two" in report
+        assert "3 experiment artifacts" in report
+
+    def test_figures_ordered_numerically_before_tables(self, tmp_path):
+        report = aggregate_report(_populate(tmp_path))
+        i_f2 = report.index("R-F2_waveforms")
+        i_f10 = report.index("R-F10_temperature")
+        i_t1 = report.index("R-T1_cells")
+        assert i_f2 < i_f10 < i_t1  # numeric, not lexicographic; tables last
+
+    def test_write_report_creates_file(self, tmp_path):
+        out = tmp_path / "REPORT.md"
+        path = write_report(_populate(tmp_path), out)
+        assert path.exists()
+        assert path.read_text().startswith("# Benchmark report")
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            aggregate_report(tmp_path / "ghost")
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            aggregate_report(tmp_path)
+
+    def test_cli_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _populate(tmp_path)
+        out = tmp_path / "R.md"
+        assert main(["report", "--output-dir", str(tmp_path), "--out", str(out)]) == 0
+        assert out.exists()

@@ -1,0 +1,133 @@
+"""Tests for the chip-level bank organization and power gating."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_array, get_design
+from repro.energy import EnergyComponent
+from repro.errors import CapacityError, TCAMError
+from repro.tcam import ArrayGeometry, random_word
+from repro.tcam.chip import GatingPolicy, TCAMChip
+
+GEO = ArrayGeometry(rows=8, cols=16)
+
+
+def _fefet_bank():
+    return build_array(get_design("fefet2t"), GEO)
+
+
+def _cmos_bank():
+    return build_array(get_design("cmos16t"), GEO)
+
+
+def _chip(gated=False, n_banks=4) -> TCAMChip:
+    policy = GatingPolicy(gate_idle_banks=gated)
+    return TCAMChip(_fefet_bank, n_banks=n_banks, gating=policy)
+
+
+class TestConstruction:
+    def test_capacity(self):
+        chip = _chip()
+        assert chip.rows_total == 32
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(TCAMError):
+            TCAMChip(_fefet_bank, n_banks=0)
+
+    def test_volatile_chip_cannot_gate(self):
+        with pytest.raises(TCAMError):
+            GatingPolicy(gate_idle_banks=True, retention_required=True)
+
+    def test_rejects_negative_wake_costs(self):
+        with pytest.raises(TCAMError):
+            GatingPolicy(wakeup_latency=-1.0)
+
+
+class TestAddressing:
+    def test_global_rows_map_to_banks(self, rng):
+        chip = _chip()
+        words = [random_word(16, rng) for _ in range(20)]
+        chip.load(words)
+        # Word 10 lives in bank 1, local row 2.
+        assert chip.banks[1].word_at(2) == words[10]
+
+    def test_search_reports_global_row(self, rng):
+        chip = _chip()
+        words = [random_word(16, rng) for _ in range(20)]
+        chip.load(words)
+        result = chip.search(words[10], bank=1)
+        assert result.row == 10
+
+    def test_load_rejects_overflow(self, rng):
+        chip = _chip()
+        with pytest.raises(CapacityError):
+            chip.load([random_word(16, rng) for _ in range(33)])
+
+    def test_rejects_bad_bank(self, rng):
+        chip = _chip()
+        with pytest.raises(TCAMError):
+            chip.search(random_word(16, rng), bank=4)
+
+
+class TestGating:
+    def test_gated_chip_standby_power_one_bank(self, rng):
+        chip = _chip(gated=True)
+        chip.load([random_word(16, rng) for _ in range(8)])
+        chip.search(random_word(16, rng), bank=0)
+        ungated = _chip(gated=False)
+        assert chip.standby_power() == pytest.approx(ungated.standby_power() / 4)
+
+    def test_first_search_on_gated_bank_pays_wakeup(self, rng):
+        chip = _chip(gated=True)
+        chip.load([random_word(16, rng) for _ in range(8)])
+        result = chip.search(random_word(16, rng), bank=2)
+        assert result.energy.get(EnergyComponent.CLOCK) > 0.0
+        assert result.latency > result.outcome.search_delay
+
+    def test_warm_bank_pays_no_wakeup(self, rng):
+        chip = _chip(gated=True)
+        chip.load([random_word(16, rng) for _ in range(8)])
+        chip.search(random_word(16, rng), bank=2)
+        again = chip.search(random_word(16, rng), bank=2)
+        assert again.energy.get(EnergyComponent.CLOCK) == 0.0
+
+    def test_idle_leakage_scales_with_powered_banks(self, rng):
+        gated = _chip(gated=True)
+        ungated = _chip(gated=False)
+        for chip in (gated, ungated):
+            chip.load([random_word(16, rng) for _ in range(8)])
+            chip.search(random_word(16, rng), bank=0)  # settle gating state
+        idle = 1e-3
+        e_gated = gated.search(random_word(16, rng), bank=0, idle_time=idle)
+        e_ungated = ungated.search(random_word(16, rng), bank=0, idle_time=idle)
+        leak_gated = e_gated.energy.get(EnergyComponent.LEAKAGE)
+        leak_ungated = e_ungated.energy.get(EnergyComponent.LEAKAGE)
+        assert leak_ungated > 3.0 * leak_gated
+
+
+class TestDutyCycleCrossover:
+    def test_gating_wins_at_low_search_rates(self, rng):
+        """The R-F12 claim in miniature: at 1 kHz the gated FeFET chip's
+        amortized energy undercuts the ungated one; at 100 MHz they tie."""
+        gated = _chip(gated=True)
+        ungated = _chip(gated=False)
+        for chip in (gated, ungated):
+            chip.load([random_word(16, rng) for _ in range(8)])
+            chip.search(random_word(16, rng), bank=0)
+        slow_gated = gated.energy_per_search_at_rate(1e3)
+        slow_ungated = ungated.energy_per_search_at_rate(1e3)
+        assert slow_gated < slow_ungated
+        fast_gated = gated.energy_per_search_at_rate(1e8)
+        fast_ungated = ungated.energy_per_search_at_rate(1e8)
+        assert fast_gated == pytest.approx(fast_ungated, rel=0.05)
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(TCAMError):
+            _chip().energy_per_search_at_rate(0.0)
+
+    def test_cmos_chip_leaks_more_in_standby(self):
+        fefet = TCAMChip(_fefet_bank, n_banks=4)
+        cmos = TCAMChip(_cmos_bank, n_banks=4)
+        assert cmos.standby_power() > fefet.standby_power()

@@ -1,0 +1,120 @@
+"""Tests for the N-stage hierarchical bank."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy import EnergyComponent
+from repro.errors import TCAMError
+from repro.tcam import ArrayGeometry, random_word
+from repro.tcam.bank import HierarchicalBank, SegmentedBank
+from repro.tcam.cells import FeFET2TCell
+
+
+def _bank(segments, rows=16, cols=32, early=True):
+    return HierarchicalBank(
+        FeFET2TCell(), ArrayGeometry(rows, cols), segments, early_terminate=early
+    )
+
+
+def _loaded(segments, rows=16, cols=32, seed=3, x_fraction=0.2):
+    rng = np.random.default_rng(seed)
+    bank = _bank(segments, rows, cols)
+    words = [random_word(cols, rng, x_fraction=x_fraction) for _ in range(rows)]
+    bank.load(words)
+    return bank, words, rng
+
+
+class TestConstruction:
+    def test_segments_must_partition_columns(self):
+        with pytest.raises(TCAMError):
+            _bank([8, 8])  # sums to 16, not 32
+
+    def test_rejects_empty_segments(self):
+        with pytest.raises(TCAMError):
+            _bank([])
+
+    def test_rejects_zero_width_segment(self):
+        with pytest.raises(TCAMError):
+            _bank([0, 32])
+
+    def test_depth(self):
+        assert _bank([8, 8, 16]).n_stages == 3
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("segments", [[32], [8, 24], [8, 8, 16], [4, 4, 8, 16]])
+    def test_agrees_with_ternary_oracle(self, segments):
+        bank, words, rng = _loaded(segments)
+        for _ in range(6):
+            key = random_word(32, rng)
+            out = bank.search(key)
+            expected = np.array([w.matches(key) for w in words])
+            assert np.array_equal(out.match_mask, expected), segments
+
+    def test_word_roundtrip(self):
+        bank, words, _ = _loaded([8, 8, 16])
+        for row, word in enumerate(words):
+            assert bank.word_at(row) == word
+
+    def test_matches_two_stage_segmented_bank(self):
+        """3-arg hierarchy with 2 stages must agree with SegmentedBank."""
+        rng = np.random.default_rng(9)
+        words = [random_word(32, rng, x_fraction=0.2) for _ in range(16)]
+        hier = _bank([8, 24])
+        hier.load(words)
+        seg = SegmentedBank(FeFET2TCell(), ArrayGeometry(16, 32), probe_cols=8)
+        seg.load(words)
+        for _ in range(4):
+            key = random_word(32, rng)
+            a = hier.search(key)
+            b = seg.search(key)
+            assert np.array_equal(a.match_mask, b.match_mask)
+
+    def test_rejects_bad_widths(self):
+        bank, _, rng = _loaded([8, 24])
+        with pytest.raises(TCAMError):
+            bank.search(random_word(16, rng))
+        with pytest.raises(TCAMError):
+            bank.write(0, random_word(16, rng))
+
+
+class TestDepthTradeoff:
+    def test_deeper_hierarchy_cheaper_ml_energy(self):
+        """Each extra early stage screens more rows away from the wide
+        tail segments (random binary data, miss-dominated keys)."""
+        rng = np.random.default_rng(11)
+        words = [random_word(32, rng) for _ in range(32)]
+        keys = [random_word(32, rng) for _ in range(6)]
+
+        energies = {}
+        for label, segments in (("flat", [32]), ("two", [8, 24]), ("three", [4, 8, 20])):
+            bank = HierarchicalBank(FeFET2TCell(), ArrayGeometry(32, 32), segments)
+            bank.load(words)
+            total = 0.0
+            for key in keys:
+                total += bank.search(key).energy.get(EnergyComponent.ML_PRECHARGE)
+            energies[label] = total
+        assert energies["two"] < energies["flat"]
+        assert energies["three"] < energies["two"]
+
+    def test_deeper_hierarchy_slower(self):
+        rng = np.random.default_rng(12)
+        words = [random_word(32, rng, x_fraction=0.4) for _ in range(16)]
+        flat = _bank([32])
+        deep = _bank([4, 8, 20])
+        flat.load(words)
+        deep.load(words)
+        key = words[0]  # survivors at every stage -> all stages run
+        assert deep.search(key).search_delay > flat.search(key).search_delay
+
+    def test_early_termination_skips_tail_stages(self):
+        bank, words, rng = _loaded([16, 8, 8], x_fraction=0.0)
+        while True:
+            key = random_word(32, rng)
+            if not any(w[:16].matches(key[:16]) for w in words):
+                break
+        out = bank.search(key)
+        assert out.stage2_skipped
+        assert out.first_match is None

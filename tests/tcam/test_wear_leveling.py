@@ -1,0 +1,108 @@
+"""Tests for the wear-leveling scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_array, get_design
+from repro.errors import CapacityError, TCAMError
+from repro.tcam import ArrayGeometry, random_word
+from repro.tcam.writer import WearLevelingScheduler
+
+
+def _setup(rows=16, cols=16, rotate_period=2):
+    array = build_array(get_design("fefet2t"), ArrayGeometry(rows, cols))
+    return array, WearLevelingScheduler(array, rotate_period=rotate_period)
+
+
+def _hot_traffic(sched, rng, table_len=8, n_updates=12, cols=16):
+    """Repeatedly rewrite entry 0 (the hot row) of an otherwise fixed table."""
+    table = [random_word(cols, rng) for _ in range(table_len)]
+    for _ in range(n_updates):
+        table[0] = random_word(cols, rng)
+        sched.update(table)
+    return table
+
+
+class TestCorrectness:
+    def test_lookup_returns_logical_index(self, rng):
+        array, sched = _setup()
+        table = [random_word(16, rng) for _ in range(8)]
+        sched.update(table)
+        for _ in range(5):  # trigger rotations
+            sched.update(table)
+        assert sched.base_row > 0  # table has moved
+        logical, outcome = sched.lookup(table[3])
+        assert logical == 3
+        assert outcome.functional_errors == 0
+
+    def test_priority_order_preserved_after_rotation(self, rng):
+        array, sched = _setup()
+        # Two entries that both match the same key; entry 1 must win.
+        shared = random_word(16, rng)
+        table = [shared, shared.with_trit(0, shared[0])] + [
+            random_word(16, rng) for _ in range(4)
+        ]
+        for _ in range(6):
+            sched.update(table)
+        logical, _ = sched.lookup(shared)
+        assert logical == 0
+
+    def test_shrinking_table_invalidates_tail(self, rng):
+        array, sched = _setup()
+        table = [random_word(16, rng) for _ in range(8)]
+        sched.update(table)
+        sched.update(table[:4])
+        logical, _ = sched.lookup(table[6])
+        assert logical is None
+
+    def test_rejects_overflow(self, rng):
+        array, sched = _setup(rows=4)
+        with pytest.raises(CapacityError):
+            sched.update([random_word(16, rng) for _ in range(5)])
+
+    def test_rejects_bad_period(self):
+        array, _ = _setup()
+        with pytest.raises(TCAMError):
+            WearLevelingScheduler(array, rotate_period=0)
+
+    def test_translation_bounds_checked(self, rng):
+        array, sched = _setup()
+        sched.update([random_word(16, rng) for _ in range(4)])
+        with pytest.raises(TCAMError):
+            sched.logical_to_physical(4)
+        assert sched.physical_to_logical(15) is None
+
+
+class TestWearSpreading:
+    def test_rotation_spreads_hot_row_wear(self, rng):
+        """With spare rows and rotation, the hottest cell's wear drops well
+        below the no-rotation case."""
+        cols = 16
+        rotating_array, rotating = _setup(rows=16, rotate_period=2)
+        static_array, static = _setup(rows=16, rotate_period=10**9)
+
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        _hot_traffic(rotating, rng_a, n_updates=12, cols=cols)
+        _hot_traffic(static, rng_b, n_updates=12, cols=cols)
+
+        worst_rotating = rotating_array.wear_report()["max"]
+        worst_static = static_array.wear_report()["max"]
+        assert worst_rotating < worst_static
+
+    def test_full_array_cannot_rotate(self, rng):
+        """No spare rows -> the base row must stay put."""
+        array, sched = _setup(rows=8, rotate_period=1)
+        table = [random_word(16, rng) for _ in range(8)]
+        for _ in range(4):
+            sched.update(table)
+        assert sched.base_row == 0
+
+    def test_unchanged_entries_not_rewritten_between_rotations(self, rng):
+        array, sched = _setup(rows=16, rotate_period=100)
+        table = [random_word(16, rng) for _ in range(6)]
+        sched.update(table)
+        ledger, _ = sched.update(table)  # identical content, no rotation
+        assert ledger.total == 0.0

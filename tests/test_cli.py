@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestDesigns:
+    def test_lists_all_designs(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cmos16t", "reram2t2r", "fefet2t", "fefet2t_lv", "fefet_cr", "fefet_nand"):
+            assert name in out
+
+
+class TestCompare:
+    def test_small_comparison_runs(self, capsys):
+        assert main(["compare", "--rows", "8", "--cols", "16", "--searches", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "E/search" in out
+        assert "fefet2t_lv" in out
+
+    def test_error_column_zero(self, capsys):
+        main(["compare", "--rows", "8", "--cols", "16", "--searches", "2"])
+        out = capsys.readouterr().out
+        data_lines = [l for l in out.splitlines() if l.startswith(("cmos", "reram", "fefet"))]
+        assert data_lines
+        assert all(line.rstrip().endswith("0") for line in data_lines)
+
+
+class TestMargin:
+    def test_reports_margin(self, capsys):
+        assert main(["margin", "--design", "fefet2t_lv", "--swing", "0.5",
+                     "--rows", "8", "--cols", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "sense margin" in out
+        assert "functional      : True" in out
+
+
+class TestMonteCarlo:
+    def test_runs_small_mc(self, capsys):
+        assert main(["mc", "--design", "fefet2t", "--samples", "20",
+                     "--rows", "4", "--cols", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "margin mean" in out
+
+
+class TestLpm:
+    def test_agrees_with_oracle(self, capsys):
+        assert main(["lpm", "--routes", "20", "--lookups", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle agreement: 15/15" in out
+
+
+class TestAdvise:
+    def test_recommends_a_design(self, capsys):
+        assert main(["advise", "--rows", "8", "--cols", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended:" in out
+        assert "Design advisor" in out
+
+
+class TestRetention:
+    def test_spec_point(self, capsys):
+        assert main(["retention", "--celsius", "85", "--years", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "retention       : 0.90" in out
+
+    def test_room_temperature(self, capsys):
+        assert main(["retention", "--celsius", "25", "--years", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "time to 10% loss" in out
+
+
+class TestDisturb:
+    def test_half_select_report(self, capsys):
+        assert main(["disturb", "--scheme", "V/2", "--pulses", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "retention" in out
+
+    def test_third_select_retains(self, capsys):
+        assert main(["disturb", "--scheme", "V/3", "--pulses", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "retention       : 1.0000" in out or "retention       : 0.99" in out

@@ -1,0 +1,30 @@
+"""Executes every snippet of docs/TUTORIAL.md so the tutorial cannot rot."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+TUTORIAL = pathlib.Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+
+def _snippets() -> list[str]:
+    text = TUTORIAL.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestTutorial:
+    def test_tutorial_exists_with_snippets(self):
+        assert TUTORIAL.exists()
+        assert len(_snippets()) >= 7
+
+    def test_all_snippets_execute_in_order(self):
+        """Snippets share one namespace (like a reader's REPL session)."""
+        namespace: dict = {}
+        for i, snippet in enumerate(_snippets()):
+            try:
+                exec(compile(snippet, f"<tutorial snippet {i}>", "exec"), namespace)
+            except Exception as exc:  # pragma: no cover - diagnostic path
+                pytest.fail(f"tutorial snippet {i} failed: {exc}\n---\n{snippet}")

@@ -1,0 +1,134 @@
+"""Tests for the HDC associative-memory workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_array, get_design
+from repro.errors import WorkloadError
+from repro.tcam import ArrayGeometry
+from repro.workloads.hdc import HDCEncoder, HDCMemory
+
+DIMS = 128
+
+
+def _encoder(seed=0) -> HDCEncoder:
+    return HDCEncoder(
+        dimensions=DIMS, n_features=16, n_levels=8, rng=np.random.default_rng(seed)
+    )
+
+
+def _memory(threshold=0.0) -> HDCMemory:
+    array = build_array(get_design("fefet2t"), ArrayGeometry(8, DIMS))
+    return HDCMemory(array, confidence_threshold=threshold)
+
+
+def _train(mem: HDCMemory, enc: HDCEncoder, rng, n_classes=4, n_examples=5):
+    centers = {}
+    for label in range(n_classes):
+        center = rng.integers(0, 8, size=16)
+        examples = np.stack(
+            [
+                enc.encode(np.clip(center + rng.integers(-1, 2, 16), 0, 7))
+                for _ in range(n_examples)
+            ]
+        )
+        mem.train_class(label, examples)
+        centers[label] = center
+    return centers
+
+
+class TestEncoder:
+    def test_output_binary_with_right_shape(self, rng):
+        enc = _encoder()
+        hv = enc.encode(np.zeros(16, dtype=int))
+        assert hv.shape == (DIMS,)
+        assert set(np.unique(hv)) <= {0, 1}
+
+    def test_deterministic(self):
+        a = _encoder(seed=1).encode(np.arange(16) % 8)
+        b = _encoder(seed=1).encode(np.arange(16) % 8)
+        assert np.array_equal(a, b)
+
+    def test_nearby_levels_similar(self):
+        enc = _encoder()
+        f = np.full(16, 3)
+        base = enc.encode(f)
+        near = enc.encode(np.where(np.arange(16) == 0, 4, f))
+        far = enc.encode(np.full(16, 7))
+        d_near = np.count_nonzero(base != near)
+        d_far = np.count_nonzero(base != far)
+        assert d_near < d_far
+
+    def test_rejects_bad_features(self):
+        enc = _encoder()
+        with pytest.raises(WorkloadError):
+            enc.encode(np.full(16, 9))
+        with pytest.raises(WorkloadError):
+            enc.encode(np.zeros(5, dtype=int))
+
+    def test_rejects_tiny_dimensions(self):
+        with pytest.raises(WorkloadError):
+            HDCEncoder(dimensions=4, n_features=2, n_levels=2, rng=np.random.default_rng(0))
+
+
+class TestMemory:
+    def test_classification_accuracy_on_noisy_queries(self, rng):
+        enc = _encoder(seed=2)
+        mem = _memory()
+        centers = _train(mem, enc, rng)
+        correct = 0
+        total = 0
+        for label, center in centers.items():
+            for _ in range(5):
+                noisy = np.clip(center + rng.integers(-1, 2, 16), 0, 7)
+                result = mem.classify(enc.encode(noisy))
+                correct += result.label == label
+                total += 1
+        assert correct / total >= 0.8
+
+    def test_query_reports_energy(self, rng):
+        enc = _encoder()
+        mem = _memory()
+        _train(mem, enc, rng)
+        result = mem.classify(enc.encode(rng.integers(0, 8, 16)))
+        assert result.energy > 0.0
+
+    def test_confidence_threshold_introduces_x(self, rng):
+        enc = _encoder(seed=3)
+        strict = _memory(threshold=0.0)
+        masked = _memory(threshold=0.4)
+        _train(strict, enc, np.random.default_rng(5))
+        _train(masked, enc, np.random.default_rng(5))
+        assert strict.x_density() == 0.0
+        assert masked.x_density() > 0.0
+
+    def test_empty_memory_returns_none(self):
+        mem = _memory()
+        assert mem.classify(np.zeros(DIMS, dtype=np.int8)).label is None
+
+    def test_capacity_enforced(self, rng):
+        enc = _encoder()
+        mem = _memory()
+        for label in range(8):
+            mem.train_class(label, np.zeros((2, DIMS), dtype=np.int8))
+        with pytest.raises(WorkloadError):
+            mem.train_class(9, np.zeros((2, DIMS), dtype=np.int8))
+
+    def test_rejects_bad_example_shape(self):
+        mem = _memory()
+        with pytest.raises(WorkloadError):
+            mem.train_class(0, np.zeros((2, 5), dtype=np.int8))
+
+    def test_rejects_bad_query_shape(self, rng):
+        enc = _encoder()
+        mem = _memory()
+        _train(mem, enc, rng, n_classes=1)
+        with pytest.raises(WorkloadError):
+            mem.classify(np.zeros(5, dtype=np.int8))
+
+    def test_rejects_bad_threshold(self):
+        array = build_array(get_design("fefet2t"), ArrayGeometry(4, DIMS))
+        with pytest.raises(WorkloadError):
+            HDCMemory(array, confidence_threshold=1.5)

@@ -1,0 +1,141 @@
+"""Tests for packet classification, especially range-to-prefix expansion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_array, get_design
+from repro.errors import WorkloadError
+from repro.tcam import ArrayGeometry
+from repro.workloads.packetclass import (
+    RULE_BITS,
+    AclRule,
+    Packet,
+    RuleSet,
+    random_packets,
+    range_to_prefixes,
+    synthetic_acl,
+)
+
+
+class TestRangeExpansion:
+    def test_full_range_one_prefix(self):
+        assert range_to_prefixes(0, 65535, 16) == [(0, 0)]
+
+    def test_exact_value_full_length(self):
+        assert range_to_prefixes(80, 80, 16) == [(80, 16)]
+
+    def test_worst_case_bound(self):
+        """Classic result: [1, 2^w - 2] expands to 2w - 2 prefixes."""
+        assert len(range_to_prefixes(1, 65534, 16)) == 30
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(WorkloadError):
+            range_to_prefixes(10, 5, 16)
+
+    @given(
+        lo=st.integers(min_value=0, max_value=65535),
+        span=st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cover_is_exact_partition(self, lo, span):
+        """Every value in the range is covered exactly once, nothing outside."""
+        hi = min(lo + span, 65535)
+        prefixes = range_to_prefixes(lo, hi, 16)
+        covered = 0
+        for value, length in prefixes:
+            block = 1 << (16 - length)
+            assert value % block == 0  # aligned
+            assert lo <= value and value + block - 1 <= hi
+            covered += block
+        assert covered == hi - lo + 1
+
+
+class TestRuleOracle:
+    def test_exact_port_match(self):
+        rule = AclRule(0, 0, 0, 0, 80, 80, None, 1)
+        assert rule.matches(Packet(1, 2, 80, 6))
+        assert not rule.matches(Packet(1, 2, 81, 6))
+
+    def test_prefix_filters(self):
+        rule = AclRule(0xC0A8, 16, 0, 0, 0, 65535, None, 1)
+        assert rule.matches(Packet(0xC0A8, 0, 1, 6))
+        assert not rule.matches(Packet(0xC0A9, 0, 1, 6))
+
+    def test_proto_filter(self):
+        rule = AclRule(0, 0, 0, 0, 0, 65535, 6, 1)
+        assert rule.matches(Packet(0, 0, 0, 6))
+        assert not rule.matches(Packet(0, 0, 0, 17))
+
+    def test_rejects_bad_ports(self):
+        with pytest.raises(WorkloadError):
+            AclRule(0, 0, 0, 0, 100, 50, None, 1)
+
+
+class TestRuleSet:
+    def test_expansion_counts(self):
+        rules = [
+            AclRule(0, 0, 0, 0, 80, 80, None, 1),        # 1 row
+            AclRule(0, 0, 0, 0, 1, 65534, None, 0),       # 30 rows
+        ]
+        rs = RuleSet(rules)
+        assert rs.n_tcam_rows == 31
+        assert rs.expansion_factor == pytest.approx(15.5)
+
+    def test_first_match_semantics(self):
+        rules = [
+            AclRule(0, 0, 0, 0, 80, 80, None, 1),
+            AclRule(0, 0, 0, 0, 0, 65535, None, 0),
+        ]
+        rs = RuleSet(rules)
+        assert rs.classify_reference(Packet(0, 0, 80, 6)) == 0
+        assert rs.classify_reference(Packet(0, 0, 81, 6)) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            RuleSet([])
+
+
+class TestTCAMAgreement:
+    @pytest.fixture(scope="class")
+    def deployed(self):
+        rng = np.random.default_rng(23)
+        acl = synthetic_acl(15, rng)
+        rows = max(64, acl.n_tcam_rows)
+        array = build_array(get_design("fefet2t"), ArrayGeometry(rows, RULE_BITS))
+        acl.deploy(array)
+        return acl, array, rng
+
+    def test_tcam_matches_oracle(self, deployed):
+        acl, array, rng = deployed
+        for packet in random_packets(acl, 30, rng):
+            via_tcam, outcome = acl.classify_tcam(array, packet)
+            assert via_tcam == acl.classify_reference(packet)
+            assert outcome.functional_errors == 0
+
+    def test_deploy_rejects_wrong_width(self, deployed):
+        acl, _, _ = deployed
+        wrong = build_array(get_design("fefet2t"), ArrayGeometry(64, 32))
+        with pytest.raises(WorkloadError):
+            acl.deploy(wrong)
+
+
+class TestSynthesis:
+    def test_rule_count(self, rng):
+        assert len(synthetic_acl(12, rng).rules) == 12
+
+    def test_expansion_factor_above_one(self, rng):
+        acl = synthetic_acl(40, rng)
+        assert acl.expansion_factor >= 1.0
+
+    def test_hit_fraction_one_always_matches(self, rng):
+        acl = synthetic_acl(10, rng)
+        packets = random_packets(acl, 50, rng, hit_fraction=1.0)
+        assert all(acl.classify_reference(p) is not None for p in packets)
+
+    def test_rejects_bad_counts(self, rng):
+        with pytest.raises(WorkloadError):
+            synthetic_acl(0, rng)
