@@ -1,0 +1,136 @@
+"""Search-throughput microbenchmark: scalar loop vs batched engine.
+
+Measures keys/sec of the per-key ``TCAMArray.search()`` loop against
+``TCAMArray.search_batch()`` on a 256x64 precharge array with 1024
+random keys (the configuration the perf target is stated against), plus
+the trajectory-cache hit rate, and writes the numbers to
+``BENCH_search.json`` at the repo root so the perf trajectory is tracked
+across PRs.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf_search.py            # full
+    PYTHONPATH=src python benchmarks/bench_perf_search.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_perf_search.py --check    # assert >= 10x
+
+The scalar baseline is honest: the scalar path never touches the
+trajectory cache, so the comparison is per-key physics vs shared
+per-class physics.  Outcome equality between the two paths is asserted
+on every run (on the scalar subset actually timed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core import build_array, get_design
+from repro.tcam import ArrayGeometry
+from repro.tcam.trit import random_word
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DESIGN = "fefet2t"  # precharge-style sensing
+SEED = 424242
+
+
+def _build_loaded(rows: int, cols: int, rng: np.random.Generator):
+    array = build_array(get_design(DESIGN), ArrayGeometry(rows=rows, cols=cols))
+    for row in range(rows):
+        array.write(row, random_word(cols, rng, x_fraction=0.2))
+    return array
+
+
+def run_bench(
+    rows: int = 256,
+    cols: int = 64,
+    n_keys: int = 1024,
+    scalar_keys: int | None = None,
+) -> dict:
+    """Time both paths; return the result record.
+
+    Args:
+        rows/cols/n_keys: Benchmark configuration.
+        scalar_keys: How many keys the scalar loop is timed on (it is a
+            couple of orders of magnitude slower, so the full batch size
+            would dominate wall time for no statistical gain); defaults
+            to ``min(n_keys, 64)``.  Scalar keys/sec extrapolates from
+            this subset; outcome equality is checked on it.
+    """
+    if scalar_keys is None:
+        scalar_keys = min(n_keys, 64)
+    rng = np.random.default_rng(SEED)
+    words_rng_state = rng.bit_generator.state
+    scalar_array = _build_loaded(rows, cols, rng)
+    rng.bit_generator.state = words_rng_state
+    batch_array = _build_loaded(rows, cols, rng)
+    keys = [random_word(cols, rng, x_fraction=0.0) for _ in range(n_keys)]
+
+    t0 = time.perf_counter()
+    scalar_outcomes = [scalar_array.search(k) for k in keys[:scalar_keys]]
+    t_scalar = time.perf_counter() - t0
+    scalar_rate = scalar_keys / t_scalar
+
+    t0 = time.perf_counter()
+    batch_outcomes = batch_array.search_batch(keys)
+    t_batch = time.perf_counter() - t0
+    batch_rate = n_keys / t_batch
+
+    for s, b in zip(scalar_outcomes, batch_outcomes):
+        assert np.array_equal(s.match_mask, b.match_mask)
+        assert s.first_match == b.first_match
+        assert s.energy.total == b.energy.total, "batch energies diverge from scalar"
+
+    stats = batch_array.ml_cache_stats()
+    return {
+        "design": DESIGN,
+        "rows": rows,
+        "cols": cols,
+        "n_keys": n_keys,
+        "scalar_keys_timed": scalar_keys,
+        "scalar_keys_per_sec": round(scalar_rate, 2),
+        "batch_keys_per_sec": round(batch_rate, 2),
+        "speedup": round(batch_rate / scalar_rate, 2),
+        "cache_hit_rate": round(stats["hit_rate"], 4),
+        "cache_entries": int(stats["size"]),
+        "scalar_seconds": round(t_scalar, 4),
+        "batch_seconds": round(t_batch, 4),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small configuration for CI (no BENCH_search.json update)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the speedup is >= 10x",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=REPO_ROOT / "BENCH_search.json",
+        help="where to write the JSON record (full runs only)",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        record = run_bench(rows=64, cols=32, n_keys=128, scalar_keys=16)
+    else:
+        record = run_bench()
+
+    print(json.dumps(record, indent=2))
+    if not args.smoke:
+        args.output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.check and record["speedup"] < 10.0:
+        raise SystemExit(
+            f"speedup {record['speedup']}x is below the 10x target"
+        )
+
+
+if __name__ == "__main__":
+    main()

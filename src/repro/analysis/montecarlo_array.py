@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..circuits.rc import discharge_waveform
+from ..circuits.rc import discharge_waveform, discharge_waveform_batch
 from ..devices.mosfet import ekv_current_vec
 from ..devices.variability import VariationSpec
 from ..errors import AnalysisError
@@ -198,7 +198,86 @@ class SampledFeFETArray:
         n_hvt_leak = int(np.count_nonzero(match_mask))
         return vt_conducting, vt_leak_lvt, n_hvt_leak
 
+    def _physical_row_decisions(self, key_arr: np.ndarray) -> np.ndarray:
+        """Strobe decisions of every row against one key, in one stacked pass.
+
+        The row-wise counterpart of :meth:`_physical_row_decision`: all
+        rows' device ensembles are flattened into single threshold arrays
+        carrying their row ids, every RK4 step evaluates the EKV model
+        once over all devices of all match lines (each at its own line
+        voltage), and per-line currents come back via one ``bincount``.
+        Numerically equivalent to the per-row loop up to floating-point
+        summation order.
+        """
+        f = self.cell.params.fefet
+        rows = self.geometry.rows
+        stored = self._stored
+        x = int(Trit.X)
+        driven = key_arr != x
+        specific = stored != x
+
+        miss_a = driven[np.newaxis, :] & specific & (key_arr == 0)[np.newaxis, :] & (stored == 1)
+        miss_b = driven[np.newaxis, :] & specific & (key_arr == 1)[np.newaxis, :] & (stored == 0)
+        match_mask = driven[np.newaxis, :] & ~(miss_a | miss_b)
+        m1 = match_mask & specific & (stored == 1)
+        m0 = match_mask & specific & (stored == 0)
+
+        rows_a, cols_a = np.nonzero(miss_a)
+        rows_b, cols_b = np.nonzero(miss_b)
+        on_rows = np.concatenate([rows_a, rows_b])
+        vt_on = f.vt_lvt + np.concatenate(
+            [self._dvt[rows_a, cols_a, 0], self._dvt[rows_b, cols_b, 1]]
+        )
+        rows_1, cols_1 = np.nonzero(m1)
+        rows_0, cols_0 = np.nonzero(m0)
+        leak_rows = np.concatenate([rows_1, rows_0])
+        vt_leak = f.vt_lvt + np.concatenate(
+            [self._dvt[rows_1, cols_1, 0], self._dvt[rows_0, cols_0, 1]]
+        )
+        n_hvt = np.count_nonzero(match_mask, axis=1).astype(float)
+
+        i_hvt_nominal = ekv_current_vec(
+            self.cell.params.v_search, self.vdd, np.array([f.vt_hvt]),
+            self._beta, f.n_slope, self._phi_t, f.lambda_cl,
+        )[0]
+        v_search = self.cell.params.v_search
+
+        def currents(v: np.ndarray) -> np.ndarray:
+            # Elements at or below the floor have their derivative masked
+            # off by the integrator; clamp them so the EKV model never
+            # sees a negative vds.
+            v = np.maximum(v, 0.0)
+            total = np.zeros(rows)
+            if vt_on.size:
+                i_on = ekv_current_vec(
+                    v_search, v[on_rows], vt_on, self._beta,
+                    f.n_slope, self._phi_t, f.lambda_cl,
+                )
+                total += np.bincount(on_rows, weights=i_on, minlength=rows)
+            if vt_leak.size:
+                i_lk = ekv_current_vec(
+                    0.0, v[leak_rows], vt_leak, self._beta,
+                    f.n_slope, self._phi_t, f.lambda_cl,
+                )
+                total += np.bincount(leak_rows, weights=i_lk, minlength=rows)
+            total += n_hvt * i_hvt_nominal * np.where(v < self.vdd, v / self.vdd, 1.0)
+            return total
+
+        grid = np.linspace(0.0, self.t_eval, 33)
+        v_end = discharge_waveform_batch(
+            self.c_ml, currents, np.full(rows, self.vdd), grid
+        )
+        decisions = v_end > self.v_sense + self._sa_offset
+        # Fully masked lines cannot move and always read as a match.
+        loaded = np.zeros(rows, dtype=bool)
+        loaded[on_rows] = True
+        loaded[leak_rows] = True
+        decisions[~loaded & (n_hvt == 0)] = True
+        return decisions
+
     def _physical_row_decision(self, row: int, key_arr: np.ndarray) -> bool:
+        """Reference per-row decision (the row-batched path above is the
+        production one; this stays as the directly-auditable original)."""
         f = self.cell.params.fefet
         vt_on, vt_leak, n_hvt = self._row_currents(row, key_arr)
 
@@ -245,16 +324,13 @@ class SampledFeFETArray:
         for key in keys:
             key_arr = key.as_array()
             distances = mismatch_counts(self._stored, key_arr)
-            any_wrong = False
-            for row in range(rows):
-                physical = self._physical_row_decision(row, key_arr)
-                logical = distances[row] == 0
-                if physical != logical:
-                    wrong_rows += 1
-                    any_wrong = True
-                    d = int(distances[row])
-                    by_distance[d] = by_distance.get(d, 0) + 1
-            wrong_searches += any_wrong
+            physical = self._physical_row_decisions(key_arr)
+            wrong = physical != (distances == 0)
+            n_wrong = int(np.count_nonzero(wrong))
+            wrong_rows += n_wrong
+            wrong_searches += bool(n_wrong)
+            for d in distances[wrong]:
+                by_distance[int(d)] = by_distance.get(int(d), 0) + 1
         return ArrayMCResult(
             n_searches=len(keys),
             n_row_decisions=len(keys) * rows,

@@ -195,6 +195,60 @@ def discharge_waveform(
     return out
 
 
+CurrentsOfVoltages = Callable[[np.ndarray], np.ndarray]
+
+
+def discharge_waveform_batch(
+    capacitance: float,
+    currents: CurrentsOfVoltages,
+    v_start: np.ndarray,
+    t_grid: np.ndarray,
+    v_floor: float = 0.0,
+) -> np.ndarray:
+    """Final voltages of many capacitor discharges integrated in one pass.
+
+    The stacked-array counterpart of :func:`discharge_waveform`: ``n``
+    independent discharges (e.g. the distinct mismatch classes of one
+    search batch) share every RK4 step, with elementwise arithmetic that
+    reproduces the scalar integrator bit-for-bit per element.  Only the
+    endpoint ``v(t_grid[-1])`` is returned -- that is all the sensing
+    layer consumes.
+
+    Args:
+        capacitance: Line capacitance, common to every trajectory [F].
+        currents: Maps the stacked voltages ``(n,)`` to the stacked
+            discharge currents ``(n,)`` [A].  Must tolerate any voltage
+            the integrator visits (including at or below ``v_floor``).
+        v_start: Initial voltage per trajectory, shape ``(n,)`` [V].
+        t_grid: Monotonically increasing time samples starting at 0 [s].
+        v_floor: Voltage at which a discharge stops (ground) [V].
+
+    Returns:
+        ``(n,)`` array of voltages at ``t_grid[-1]``.
+    """
+    if capacitance <= 0.0:
+        raise CircuitError(f"capacitance must be positive, got {capacitance}")
+    t = np.asarray(t_grid, dtype=float)
+    if t.ndim != 1 or t.size < 2 or t[0] != 0.0 or np.any(np.diff(t) <= 0.0):
+        raise CircuitError("t_grid must be 1-D, start at 0 and strictly increase")
+    v = np.array(v_start, dtype=float)
+    if v.ndim != 1:
+        raise CircuitError(f"v_start must be 1-D, got shape {v.shape}")
+
+    def dv_dt(volts: np.ndarray) -> np.ndarray:
+        return np.where(volts <= v_floor, 0.0, -np.asarray(currents(volts)) / capacitance)
+
+    for k in range(1, t.size):
+        h = t[k] - t[k - 1]
+        k1 = dv_dt(v)
+        k2 = dv_dt(v + 0.5 * h * k1)
+        k3 = dv_dt(v + 0.5 * h * k2)
+        k4 = dv_dt(v + h * k3)
+        v = v + h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        v = np.maximum(v, v_floor)
+    return v
+
+
 def charge_energy(capacitance: float, v_swing: float, v_supply: float) -> float:
     """Energy drawn from a supply to charge C through ``v_swing`` [J].
 

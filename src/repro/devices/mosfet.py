@@ -68,7 +68,7 @@ def _log1pexp_sq(x: float) -> float:
 
 def ekv_current_vec(
     vgs: float,
-    vds: float,
+    vds: float | np.ndarray,
     vt: np.ndarray,
     beta: float,
     n_slope: float,
@@ -78,10 +78,13 @@ def ekv_current_vec(
     """Vectorized :func:`ekv_current` over an array of thresholds.
 
     Used by the per-cell Monte-Carlo array simulator, where every cell in
-    a row carries its own sampled threshold.  Semantics match the scalar
-    core exactly (the test suite checks element-wise agreement).
+    a row carries its own sampled threshold.  ``vds`` may be a scalar or
+    an array broadcastable against ``vt`` (the row-batched simulator
+    evaluates every device of every match line at that line's own
+    voltage in one call).  Semantics match the scalar core exactly (the
+    test suite checks element-wise agreement).
     """
-    if vds < 0.0:
+    if np.any(np.asarray(vds) < 0.0):
         raise DeviceError(f"ekv_current expects vds >= 0, got {vds}")
     if n_slope < 1.0:
         raise DeviceError(f"slope factor must be >= 1, got {n_slope}")

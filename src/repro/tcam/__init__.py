@@ -13,7 +13,15 @@ The layer stack:
 * :mod:`.area` -- lambda-rule area estimates.
 """
 
-from .trit import Trit, TernaryWord, random_word, word_from_string
+from .trit import (
+    TernaryWord,
+    Trit,
+    mismatch_counts_batch,
+    pack_keys,
+    random_word,
+    word_from_string,
+)
+from .mlcache import TrajectoryCache
 from .cell import CellDescriptor, WriteCost
 from .area import TechNode, TECH_45NM, cell_dimensions
 from .array import (
@@ -35,6 +43,9 @@ __all__ = [
     "TernaryWord",
     "random_word",
     "word_from_string",
+    "pack_keys",
+    "mismatch_counts_batch",
+    "TrajectoryCache",
     "CellDescriptor",
     "WriteCost",
     "TechNode",

@@ -21,12 +21,14 @@ injection tests and the Monte-Carlo yield analysis).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..circuits.matchline import MatchLine, MatchLineLoad
 from ..circuits.precharge import FullSwingPrecharge, PrechargeScheme
+from ..circuits.rc import discharge_waveform_batch
 from ..circuits.searchline import SearchLine, count_toggles
 from ..circuits.senseamp import CurrentRaceSenseAmp, VoltageSenseAmp
 from ..circuits.wire import M2_WIRE, M4_WIRE, WireModel
@@ -34,8 +36,17 @@ from ..energy.accounting import EnergyComponent, EnergyLedger
 from ..errors import TCAMError
 from .area import TECH_45NM, TechNode, cell_dimensions
 from .cell import CellDescriptor
+from .mlcache import TrajectoryCache
 from .priority import PriorityEncoder
-from .trit import TernaryWord, Trit, drive_vector, mismatch_counts
+from .trit import (
+    TernaryWord,
+    Trit,
+    drive_matrix,
+    drive_vector,
+    mismatch_counts,
+    mismatch_counts_batch,
+    pack_keys,
+)
 
 _SENSING_STYLES = ("precharge", "current_race")
 
@@ -87,6 +98,35 @@ class SearchOutcome:
     def energy_total(self) -> float:
         """Total search energy [J]."""
         return self.energy.total
+
+
+@dataclass(frozen=True)
+class _PrechargeClassResult:
+    """Per-mismatch-class sensing results for precharge-style search.
+
+    One instance covers every row sharing ``(n_miss, driven_cols)``: the
+    trajectory endpoint, the sense decision derived from it and the
+    per-line restore costs.  These are exactly the quantities the scalar
+    search recomputes per class per search; the batch engine computes
+    them once per class per batch (and caches them across batches).
+    """
+
+    v_end: float
+    is_match: bool
+    e_restore: float
+    e_diss: float
+    e_sense: float
+    t_sense: float
+    t_restore: float
+
+
+@dataclass(frozen=True)
+class _RaceClassResult:
+    """Per-mismatch-class results for current-race search."""
+
+    is_match: bool
+    energy: float
+    delay: float
 
 
 @dataclass(frozen=True)
@@ -174,6 +214,7 @@ class TCAMArray:
         self._valid = np.zeros(rows, dtype=bool)
         self._write_counts = np.zeros((rows, cols), dtype=np.int64)
         self._last_drive: tuple[int, ...] | None = None
+        self._ml_cache = TrajectoryCache()
 
         cell_w, cell_h = cell_dimensions(cell.area_f2, geometry.node)
         self.cell_width = cell_w
@@ -285,8 +326,19 @@ class TCAMArray:
     # ------------------------------------------------------------------
 
     def write(self, row: int, word: TernaryWord) -> WriteOutcome:
-        """Store ``word`` at ``row``, paying per-cell transition costs."""
+        """Store ``word`` at ``row``, paying per-cell transition costs.
+
+        Cache-invalidation rule: every write flushes the match-line
+        trajectory cache used by :meth:`search_batch` and
+        :meth:`nearest_match_batch`.  The cached trajectories depend only
+        on the mismatch class and the electrical configuration (which is
+        fixed at construction), so this is conservative -- but it makes
+        staleness structurally impossible and costs one dict clear.  The
+        same flush runs on :meth:`invalidate` and (via the per-row writes)
+        :meth:`load`.
+        """
         self._check_row(row)
+        self._ml_cache.invalidate()
         if len(word) != self.geometry.cols:
             raise TCAMError(
                 f"word width {len(word)} does not match array cols {self.geometry.cols}"
@@ -309,8 +361,12 @@ class TCAMArray:
         return WriteOutcome(row=row, energy=ledger, latency=latency, cells_changed=changed)
 
     def invalidate(self, row: int) -> None:
-        """Remove ``row`` from match participation (erase to all-X)."""
+        """Remove ``row`` from match participation (erase to all-X).
+
+        Flushes the trajectory cache, like :meth:`write`.
+        """
         self._check_row(row)
+        self._ml_cache.invalidate()
         self._stored[row] = int(Trit.X)
         self._valid[row] = False
 
@@ -355,23 +411,354 @@ class TCAMArray:
         key_arr = key.as_array()
         driven_cols = int(np.count_nonzero(key_arr != int(Trit.X)))
         miss = mismatch_counts(self._stored, key_arr)
-        logical_match = (miss == 0) & self._valid & active
+
+        # One np.unique covers both the sensing class grouping (over the
+        # active rows) and the miss histogram (over the valid rows).
+        unique, inverse = np.unique(miss, return_inverse=True)
+        counts_active = np.bincount(inverse[active], minlength=unique.size)
+        counts_valid = np.bincount(inverse[self._valid], minlength=unique.size)
 
         ledger = EnergyLedger()
         self._book_searchline_energy(ledger, key)
 
         if self.sensing == "precharge":
-            physical_match, t_sense, t_cycle = self._search_precharge(
-                ledger, miss, driven_cols, active
-            )
+            class_results = {
+                int(n): self._precharge_class(int(n), driven_cols)
+                for n, c in zip(unique, counts_active)
+                if c
+            }
         else:
-            physical_match, t_sense, t_cycle = self._search_race(
-                ledger, miss, driven_cols, active
+            class_results = {
+                int(n): self._race_class(int(n), driven_cols)
+                for n, c in zip(unique, counts_active)
+                if c
+            }
+        outcome = self._assemble_outcome(
+            ledger, miss, active, unique, counts_active, counts_valid, class_results
+        )
+        return outcome
+
+    def search_batch(
+        self,
+        keys: Iterable[TernaryWord],
+        row_mask: np.ndarray | None = None,
+    ) -> list[SearchOutcome]:
+        """Execute many searches with shared per-class trajectory work.
+
+        Produces exactly the :class:`SearchOutcome` sequence that calling
+        :meth:`search` once per key would (including the sequential
+        search-line toggle semantics: the first key toggles against the
+        array's current drive state and each subsequent key against its
+        predecessor), but the match-line trajectory, sense-amp strobe and
+        restore time of each distinct ``(n_miss, driven_cols)`` mismatch
+        class are computed once for the whole batch -- via the array's
+        bounded LRU trajectory cache, so consecutive batches over an
+        unwritten array reuse them outright.
+
+        Args:
+            keys: Search keys, all of the array's width.
+            row_mask: Optional per-row evaluation mask applied to every
+                key in the batch (as in :meth:`search`).
+        """
+        keys = list(keys)
+        if not keys:
+            return []
+        packed = pack_keys(keys)
+        if packed.shape[1] != self.geometry.cols:
+            raise TCAMError(
+                f"key width {packed.shape[1]} does not match array cols "
+                f"{self.geometry.cols}"
             )
+        if row_mask is None:
+            active = np.ones(self.geometry.rows, dtype=bool)
+        else:
+            active = np.asarray(row_mask, dtype=bool)
+            if active.shape != (self.geometry.rows,):
+                raise TCAMError(
+                    f"row_mask must have shape ({self.geometry.rows},), got {active.shape}"
+                )
+
+        miss_all = mismatch_counts_batch(self._stored, packed)
+        driven_all = np.count_nonzero(packed != int(Trit.X), axis=1)
+        toggles = self._batch_toggles(packed)
+        e_toggle = self.search_line.toggle_energy(self.cell.v_search)
+
+        # Per-key class grouping (one np.unique per key, reused for the
+        # histogram), plus the distinct class set of the whole batch.
+        per_key: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        needed: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for k in range(len(keys)):
+            unique, inverse = np.unique(miss_all[k], return_inverse=True)
+            counts_active = np.bincount(inverse[active], minlength=unique.size)
+            counts_valid = np.bincount(inverse[self._valid], minlength=unique.size)
+            per_key.append((unique, counts_active, counts_valid))
+            driven = int(driven_all[k])
+            for n, c in zip(unique, counts_active):
+                if c:
+                    pair = (int(n), driven)
+                    if pair not in seen:
+                        seen.add(pair)
+                        if self._ml_cache.get(self._class_cache_key(pair)) is None:
+                            needed.append(pair)
+        self._fill_class_cache(needed)
+
+        outcomes: list[SearchOutcome] = []
+        for k, (unique, counts_active, counts_valid) in enumerate(per_key):
+            ledger = EnergyLedger()
+            ledger.add(EnergyComponent.SEARCHLINE, int(toggles[k]) * e_toggle)
+            driven = int(driven_all[k])
+            class_results = {
+                int(n): self._cached_class(int(n), driven)
+                for n, c in zip(unique, counts_active)
+                if c
+            }
+            outcomes.append(
+                self._assemble_outcome(
+                    ledger,
+                    miss_all[k],
+                    active,
+                    unique,
+                    counts_active,
+                    counts_valid,
+                    class_results,
+                )
+            )
+        return outcomes
+
+    # -- trajectory cache ------------------------------------------------------
+
+    @property
+    def ml_cache(self) -> TrajectoryCache:
+        """The match-line trajectory cache (inspection/diagnostics)."""
+        return self._ml_cache
+
+    def ml_cache_stats(self) -> dict[str, float]:
+        """Hit/miss/invalidation counters of the trajectory cache."""
+        return self._ml_cache.stats()
+
+    def _class_cache_key(self, pair: tuple[int, int]) -> tuple:
+        """Cache key of one mismatch class under the current configuration.
+
+        The electrical knobs (precharge target / race trip point and the
+        evaluation window) are part of the key, so a configuration change
+        can never alias into a stale entry even before the write-path
+        flush runs.
+        """
+        n_miss, driven = pair
+        if self.sensing == "precharge":
+            return ("pre", n_miss, driven, self.precharge.target_voltage(), self.t_eval)
+        return ("race", n_miss, driven, self.race_amp.v_trip, self.t_eval)
+
+    def _fill_class_cache(self, pairs: list[tuple[int, int]]) -> None:
+        """Compute and cache the given classes, one stacked pass when possible."""
+        if not pairs:
+            return
+        if self.sensing == "precharge":
+            v_ends = self._ml_voltages_after_eval(pairs)
+            for pair, v_end in zip(pairs, v_ends):
+                self._ml_cache.put(
+                    self._class_cache_key(pair), self._precharge_class_from_v_end(v_end)
+                )
+        else:
+            for pair in pairs:
+                self._ml_cache.put(
+                    self._class_cache_key(pair), self._race_class(pair[0], pair[1])
+                )
+
+    def _cached_class(
+        self, n_miss: int, driven_cols: int
+    ) -> _PrechargeClassResult | _RaceClassResult:
+        """Cache lookup with a compute-on-miss fallback (LRU may evict
+        a just-filled class when a batch carries more distinct classes
+        than the cache bound)."""
+        key = self._class_cache_key((n_miss, driven_cols))
+        result = self._ml_cache.get(key)
+        if result is None:
+            if self.sensing == "precharge":
+                result = self._precharge_class(n_miss, driven_cols)
+            else:
+                result = self._race_class(n_miss, driven_cols)
+            self._ml_cache.put(key, result)
+        return result
+
+    # -- search-line booking -------------------------------------------------
+
+    def _book_searchline_energy(self, ledger: EnergyLedger, key: TernaryWord) -> None:
+        drive = drive_vector(key)
+        if self._last_drive is None:
+            previous = tuple(0 for _ in drive)
+        else:
+            previous = self._last_drive
+        toggles = count_toggles(previous, drive)
+        v_sl = self.cell.v_search
+        ledger.add(EnergyComponent.SEARCHLINE, toggles * self.search_line.toggle_energy(v_sl))
+        self._last_drive = drive
+
+    def _batch_toggles(self, packed: np.ndarray) -> np.ndarray:
+        """Per-key search-line toggle counts for a stacked key batch.
+
+        Threads ``_last_drive`` through the batch in order: key 0 toggles
+        against the array's current drive state, key ``k`` against key
+        ``k - 1``, and the final key's drive becomes the new array state --
+        exactly the sequence ``search`` would produce key by key.
+        """
+        drives = drive_matrix(packed)
+        if self._last_drive is None:
+            prev0 = np.zeros(packed.shape[1], dtype=np.int8)
+        else:
+            prev0 = np.asarray(self._last_drive, dtype=np.int8)
+        previous = np.vstack([prev0[np.newaxis, :], drives[:-1]])
+        diff = (drives ^ previous) & 0b11
+        toggles = ((diff & 1) + ((diff >> 1) & 1)).sum(axis=1)
+        self._last_drive = tuple(int(c) for c in drives[-1])
+        return toggles
+
+    # -- per-mismatch-class sensing results ----------------------------------
+
+    def _ml_voltages_after_eval(self, pairs: Sequence[tuple[int, int]]) -> list[float]:
+        """ML voltages at strobe time for several ``(n_miss, driven)`` classes.
+
+        All classes are integrated in one stacked RK4 pass (elementwise
+        identical to integrating each class alone), so the cost of the
+        Python-level step loop is shared across the whole class set.
+        """
+        v_pre = self.precharge.target_voltage()
+        out = [v_pre] * len(pairs)
+        loads: list[tuple[int, int, int]] = []  # (output index, n_miss, n_match)
+        for j, (n_miss, driven_cols) in enumerate(pairs):
+            n_match = driven_cols - n_miss
+            if n_miss < 0 or n_match < 0:
+                raise TCAMError("inconsistent mismatch accounting")
+            if n_miss + n_match == 0:
+                continue  # fully masked key: nothing can discharge the line
+            loads.append((j, n_miss, n_match))
+        if not loads:
+            return out
+
+        i_pulldown = self.cell.i_pulldown
+        i_leak = self.cell.i_leak
+
+        def currents(v: np.ndarray) -> np.ndarray:
+            stacked = np.empty(len(loads))
+            for k, (_, n_miss, n_match) in enumerate(loads):
+                v_k = float(v[k])
+                total = 0.0
+                if n_miss:
+                    total += n_miss * i_pulldown(v_k)
+                if n_match:
+                    total += n_match * i_leak(v_k)
+                stacked[k] = total
+            return stacked
+
+        grid = np.linspace(0.0, self.t_eval, 65)
+        v_end = discharge_waveform_batch(
+            self.c_ml, currents, np.full(len(loads), v_pre), grid
+        )
+        for k, (j, _, _) in enumerate(loads):
+            out[j] = float(v_end[k])
+        return out
+
+    def _ml_voltage_after_eval(self, n_miss: int, driven_cols: int, v_pre: float) -> float:
+        """Strobe-time ML voltage of one mismatch class (``v_pre`` must be
+        the active precharge target; kept as an argument for call-site
+        clarity in the characterization helpers)."""
+        return self._ml_voltages_after_eval([(n_miss, driven_cols)])[0]
+
+    def _precharge_class(self, n_miss: int, driven_cols: int) -> _PrechargeClassResult:
+        """Full sensing result of one precharge-style mismatch class."""
+        v_end = self._ml_voltages_after_eval([(n_miss, driven_cols)])[0]
+        return self._precharge_class_from_v_end(v_end)
+
+    def _precharge_class_from_v_end(self, v_end: float) -> _PrechargeClassResult:
+        v_pre = self.precharge.target_voltage()
+        decision = self.sense_amp.strobe(v_end)
+        e_restore = self.precharge.restore_energy(self.c_ml, v_end)
+        e_diss = 0.5 * self.c_ml * (v_pre**2 - v_end**2)
+        return _PrechargeClassResult(
+            v_end=v_end,
+            is_match=decision.is_match,
+            e_restore=e_restore,
+            e_diss=e_diss,
+            e_sense=decision.energy,
+            t_sense=decision.delay,
+            t_restore=self.precharge.restore_time(self.c_ml, v_end),
+        )
+
+    def _race_class(self, n_miss: int, driven_cols: int) -> _RaceClassResult:
+        """Sensing result of one current-race mismatch class."""
+        race = self.race_amp
+        v_trip = race.v_trip
+        n_match = driven_cols - int(n_miss)
+        i_total = int(n_miss) * self.cell.i_pulldown(v_trip) + n_match * self.cell.i_leak(
+            v_trip
+        )
+        decision = race.evaluate(self.c_ml, i_total)
+        return _RaceClassResult(
+            is_match=decision.is_match, energy=decision.energy, delay=decision.delay
+        )
+
+    # -- outcome assembly ------------------------------------------------------
+
+    def _assemble_outcome(
+        self,
+        ledger: EnergyLedger,
+        miss: np.ndarray,
+        active: np.ndarray,
+        unique: np.ndarray,
+        counts_active: np.ndarray,
+        counts_valid: np.ndarray,
+        class_results: dict[int, _PrechargeClassResult | _RaceClassResult],
+    ) -> SearchOutcome:
+        """Book per-class energies and build the outcome for one search.
+
+        Shared verbatim by the scalar and batched paths: the only
+        difference between them is where ``class_results`` comes from
+        (direct computation vs the trajectory cache).
+        """
+        rows = self.geometry.rows
+        physical = np.zeros(rows, dtype=bool)
+        any_active = bool(np.any(active))
+
+        if self.sensing == "precharge":
+            t_sa_max = 0.0
+            t_restore_max = 0.0
+            if any_active:
+                for n, n_rows in zip(unique, counts_active):
+                    if not n_rows:
+                        continue
+                    r = class_results[int(n)]
+                    physical[active & (miss == n)] = r.is_match
+                    ledger.add(EnergyComponent.ML_PRECHARGE, float(n_rows) * r.e_restore)
+                    ledger.add(EnergyComponent.ML_DISSIPATION, float(n_rows) * r.e_diss)
+                    ledger.add(EnergyComponent.SENSE_AMP, float(n_rows) * r.e_sense)
+                    t_sa_max = max(t_sa_max, r.t_sense)
+                    t_restore_max = max(t_restore_max, r.t_restore)
+                t_sense = self.t_eval + t_sa_max
+                t_cycle = t_sense + t_restore_max
+            else:
+                t_sense = self.t_eval
+                t_cycle = self.t_eval
+        else:
+            if any_active:
+                for n, n_rows in zip(unique, counts_active):
+                    if not n_rows:
+                        continue
+                    r = class_results[int(n)]
+                    physical[active & (miss == n)] = r.is_match
+                    ledger.add(EnergyComponent.RACE_SOURCE, float(n_rows) * r.energy)
+                # Matched lines were charged to the trip point and reset to
+                # ground; the reset burns stored charge but draws nothing new.
+                cutoff = self.race_amp.cutoff_time(self.c_ml)
+                t_sense = cutoff
+                t_cycle = 1.2 * cutoff  # reset phase
+            else:
+                t_sense = self.race_amp.t_window
+                t_cycle = self.race_amp.t_window
 
         # Priority encoding --------------------------------------------------
         ledger.add(EnergyComponent.PRIORITY_ENCODER, self.encoder.energy_per_search)
-        effective = physical_match & self._valid
+        effective = physical & self._valid
         first = self.encoder.encode(effective)
 
         search_delay = self.sl_settle_delay + t_sense + self.encoder.delay
@@ -387,9 +774,8 @@ class TCAMArray:
         )
         ledger.add(EnergyComponent.LEAKAGE, leak)
 
-        histogram: dict[int, int] = {}
-        for n in miss[self._valid]:
-            histogram[int(n)] = histogram.get(int(n), 0) + 1
+        logical_match = (miss == 0) & self._valid & active
+        histogram = {int(n): int(c) for n, c in zip(unique, counts_valid) if c}
         errors = int(np.count_nonzero(effective != logical_match))
         return SearchOutcome(
             match_mask=effective,
@@ -397,104 +783,9 @@ class TCAMArray:
             energy=ledger,
             search_delay=search_delay,
             cycle_time=cycle_time,
-            miss_histogram=dict(sorted(histogram.items())),
+            miss_histogram=histogram,
             functional_errors=errors,
         )
-
-    # -- search-line booking -------------------------------------------------
-
-    def _book_searchline_energy(self, ledger: EnergyLedger, key: TernaryWord) -> None:
-        drive = drive_vector(key)
-        if self._last_drive is None:
-            previous = tuple(0 for _ in drive)
-        else:
-            previous = self._last_drive
-        toggles = count_toggles(previous, drive)
-        v_sl = self.cell.v_search
-        ledger.add(EnergyComponent.SEARCHLINE, toggles * self.search_line.toggle_energy(v_sl))
-        self._last_drive = drive
-
-    # -- precharge-style sensing ------------------------------------------------
-
-    def _search_precharge(
-        self, ledger: EnergyLedger, miss: np.ndarray, driven_cols: int, active: np.ndarray
-    ) -> tuple[np.ndarray, float, float]:
-        v_pre = self.precharge.target_voltage()
-        rows = self.geometry.rows
-        physical = np.zeros(rows, dtype=bool)
-        idx_active = np.flatnonzero(active)
-        if idx_active.size == 0:
-            return physical, self.t_eval, self.t_eval
-
-        miss_active = miss[idx_active]
-        unique, counts = np.unique(miss_active, return_counts=True)
-        t_sa_max = 0.0
-        t_restore_max = 0.0
-        for n_miss, n_rows in zip(unique, counts):
-            v_end = self._ml_voltage_after_eval(int(n_miss), driven_cols, v_pre)
-            decision = self.sense_amp.strobe(v_end)
-            physical[idx_active[miss_active == n_miss]] = decision.is_match
-
-            e_restore = self.precharge.restore_energy(self.c_ml, v_end)
-            e_diss = 0.5 * self.c_ml * (v_pre**2 - v_end**2)
-            ledger.add(EnergyComponent.ML_PRECHARGE, float(n_rows) * e_restore)
-            ledger.add(EnergyComponent.ML_DISSIPATION, float(n_rows) * e_diss)
-            ledger.add(EnergyComponent.SENSE_AMP, float(n_rows) * decision.energy)
-            t_sa_max = max(t_sa_max, decision.delay)
-            t_restore_max = max(t_restore_max, self.precharge.restore_time(self.c_ml, v_end))
-
-        t_sense = self.t_eval + t_sa_max
-        t_cycle = t_sense + t_restore_max
-        return physical, t_sense, t_cycle
-
-    def _ml_voltage_after_eval(self, n_miss: int, driven_cols: int, v_pre: float) -> float:
-        n_match = driven_cols - n_miss
-        if n_miss < 0 or n_match < 0:
-            raise TCAMError("inconsistent mismatch accounting")
-        if n_miss + n_match == 0:
-            return v_pre  # fully masked key: nothing can discharge the line
-        load = MatchLineLoad(
-            capacitance=self.c_ml,
-            n_miss=n_miss,
-            n_match=n_match,
-            i_pulldown=self.cell.i_pulldown,
-            i_leak=self.cell.i_leak,
-        )
-        line = MatchLine(load, v_pre, self.vdd)
-        return line.voltage_after(self.t_eval)
-
-    # -- current-race sensing ------------------------------------------------------
-
-    def _search_race(
-        self, ledger: EnergyLedger, miss: np.ndarray, driven_cols: int, active: np.ndarray
-    ) -> tuple[np.ndarray, float, float]:
-        rows = self.geometry.rows
-        physical = np.zeros(rows, dtype=bool)
-        race = self.race_amp
-        v_trip = race.v_trip
-        idx_active = np.flatnonzero(active)
-        if idx_active.size == 0:
-            return physical, race.t_window, race.t_window
-
-        miss_active = miss[idx_active]
-        unique, counts = np.unique(miss_active, return_counts=True)
-        t_max = 0.0
-        for n_miss, n_rows in zip(unique, counts):
-            n_match = driven_cols - int(n_miss)
-            i_total = int(n_miss) * self.cell.i_pulldown(v_trip) + n_match * self.cell.i_leak(
-                v_trip
-            )
-            decision = race.evaluate(self.c_ml, i_total)
-            physical[idx_active[miss_active == n_miss]] = decision.is_match
-            ledger.add(EnergyComponent.RACE_SOURCE, float(n_rows) * decision.energy)
-            t_max = max(t_max, decision.delay)
-
-        # Matched lines were charged to the trip point and reset to ground;
-        # the reset burns the stored charge but draws nothing new.
-        cutoff = race.cutoff_time(self.c_ml)
-        t_sense = cutoff
-        t_cycle = 1.2 * cutoff  # reset phase
-        return physical, t_sense, t_cycle
 
     # ------------------------------------------------------------------
     # Approximate search (associative-memory mode, used by the HDC workload)
@@ -575,6 +866,101 @@ class TCAMArray:
         delay = self.sl_settle_delay + t_window + self.encoder.delay
         ledger.add(EnergyComponent.LEAKAGE, self.standby_power() * delay)
         return NearestMatchOutcome(best_pos, best_distance, ledger, delay)
+
+    def nearest_match_batch(self, keys: Iterable[TernaryWord]) -> list[NearestMatchOutcome]:
+        """Best-match search over a batch, sharing per-class trajectory work.
+
+        Equivalent to ``[nearest_match(k) for k in keys]`` outcome by
+        outcome, with the winner-class droop voltages and runner-up
+        crossing windows served from the trajectory cache (one entry per
+        distinct ``(runner_up, driven_cols)`` pair across the batch).
+        """
+        if self.sensing != "precharge":
+            raise TCAMError("nearest_match() requires precharge-style sensing")
+        keys = list(keys)
+        if not keys:
+            return []
+        packed = pack_keys(keys)
+        if packed.shape[1] != self.geometry.cols:
+            raise TCAMError(
+                f"key width {packed.shape[1]} does not match array cols "
+                f"{self.geometry.cols}"
+            )
+        miss_all = mismatch_counts_batch(self._stored, packed)
+        driven_all = np.count_nonzero(packed != int(Trit.X), axis=1)
+        toggles = self._batch_toggles(packed)
+        e_toggle = self.search_line.toggle_energy(self.cell.v_search)
+
+        valid_idx = np.flatnonzero(self._valid)
+        v_pre = self.precharge.target_voltage()
+        outcomes: list[NearestMatchOutcome] = []
+        for k in range(len(keys)):
+            ledger = EnergyLedger()
+            ledger.add(EnergyComponent.SEARCHLINE, int(toggles[k]) * e_toggle)
+            if valid_idx.size == 0:
+                outcomes.append(NearestMatchOutcome(None, 0, ledger, self.sl_settle_delay))
+                continue
+            miss = miss_all[k]
+            driven_cols = int(driven_all[k])
+            best_pos = int(valid_idx[np.argmin(miss[valid_idx])])
+            best_distance = int(miss[best_pos])
+
+            runner_up = best_distance + 1
+            if runner_up <= driven_cols and runner_up > 0:
+                t_window = self._nearest_window_cached(runner_up, driven_cols, v_pre)
+            else:
+                t_window = self.t_eval
+
+            n_losers = int(np.count_nonzero(miss[valid_idx] > best_distance))
+            n_winners = int(valid_idx.size - n_losers)
+            e_full = self.precharge.restore_energy(self.c_ml, 0.0)
+            ledger.add(EnergyComponent.ML_PRECHARGE, n_losers * e_full)
+            ledger.add(
+                EnergyComponent.ML_DISSIPATION, n_losers * 0.5 * self.c_ml * v_pre**2
+            )
+            if best_distance == 0:
+                v_winner = self._cached_class(0, driven_cols).v_end
+            else:
+                v_winner = 0.0
+                ledger.add(
+                    EnergyComponent.ML_DISSIPATION,
+                    n_winners * 0.5 * self.c_ml * v_pre**2,
+                )
+            ledger.add(
+                EnergyComponent.ML_PRECHARGE,
+                n_winners * self.precharge.restore_energy(self.c_ml, v_winner),
+            )
+            ledger.add(
+                EnergyComponent.SENSE_AMP,
+                valid_idx.size * self.sense_amp.c_internal * self.vdd**2,
+            )
+            ledger.add(EnergyComponent.PRIORITY_ENCODER, self.encoder.energy_per_search)
+
+            delay = self.sl_settle_delay + t_window + self.encoder.delay
+            ledger.add(EnergyComponent.LEAKAGE, self.standby_power() * delay)
+            outcomes.append(NearestMatchOutcome(best_pos, best_distance, ledger, delay))
+        return outcomes
+
+    def _nearest_window_cached(
+        self, runner_up: int, driven_cols: int, v_pre: float
+    ) -> float:
+        """Runner-up crossing window, memoized per ``(runner_up, driven)``."""
+        key = ("nmw", runner_up, driven_cols, v_pre, self.sense_amp.v_ref)
+        cached = self._ml_cache.get(key)
+        if cached is not None:
+            return cached
+        load = MatchLineLoad(
+            capacitance=self.c_ml,
+            n_miss=runner_up,
+            n_match=max(driven_cols - runner_up, 0),
+            i_pulldown=self.cell.i_pulldown,
+            i_leak=self.cell.i_leak,
+        )
+        t_window = MatchLine(load, v_pre, self.vdd).time_to(self.sense_amp.v_ref)
+        if not np.isfinite(t_window):
+            t_window = self.t_eval
+        self._ml_cache.put(key, t_window)
+        return t_window
 
     # ------------------------------------------------------------------
     # Static characterization helpers (used by benches and analyses)

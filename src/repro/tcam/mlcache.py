@@ -1,0 +1,101 @@
+"""Bounded LRU cache for match-line trajectory results.
+
+A match line's discharge trajectory depends only on the mismatch class --
+``(n_miss, driven_cols)`` -- and the array's electrical configuration
+(precharge target, evaluation window, sensing style), never on *which*
+rows carry that class.  The batched search engine therefore integrates
+each distinct class once per batch and memoizes the per-class sensing
+results here, so repeated batches over a stable array reuse them outright.
+
+Invalidation is deliberately conservative: any :meth:`TCAMArray.write`,
+:meth:`TCAMArray.invalidate` or :meth:`TCAMArray.load` clears the cache,
+even though stored content does not enter the trajectory physics -- a
+cheap guarantee that no stale entry can ever survive a configuration
+drift.  The electrical knobs (``v_pre``/``v_trip``, ``t_eval``) are also
+part of every key, so a supply or sensing change can never alias into a
+stale hit even without an explicit flush.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from ..errors import TCAMError
+
+_MISS = object()
+
+
+class TrajectoryCache:
+    """Bounded LRU mapping mismatch-class keys to sensing results.
+
+    Args:
+        maxsize: Entry bound; the least recently used entry is evicted
+            when a put would exceed it.
+
+    Attributes:
+        hits: Lookups served from the cache since construction.
+        misses: Lookups that fell through to a fresh computation.
+        invalidations: Full flushes (one per array write).
+        evictions: Entries dropped by the LRU bound.
+    """
+
+    __slots__ = ("_entries", "maxsize", "hits", "misses", "invalidations", "evictions")
+
+    def __init__(self, maxsize: int = 512) -> None:
+        if maxsize < 1:
+            raise TCAMError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Any:
+        """Return the cached value or ``None``, updating recency and stats."""
+        value = self._entries.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) one entry, evicting LRU entries past the bound."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Flush every entry (called on any array write)."""
+        self._entries.clear()
+        self.invalidations += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Counter snapshot for benchmarks and diagnostics."""
+        return {
+            "size": float(len(self._entries)),
+            "maxsize": float(self.maxsize),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate,
+            "invalidations": float(self.invalidations),
+            "evictions": float(self.evictions),
+        }

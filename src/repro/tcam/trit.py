@@ -24,6 +24,9 @@ import numpy as np
 from ..errors import TCAMError
 
 
+_TRIT_CODES = np.array([0, 1, 2], dtype=np.int8)
+
+
 class Trit(enum.IntEnum):
     """One ternary symbol."""
 
@@ -71,15 +74,25 @@ class TernaryWord(Sequence[Trit]):
     __slots__ = ("_data",)
 
     def __init__(self, trits: Iterable[Trit | int]) -> None:
-        values = []
-        for t in trits:
-            v = int(t)
-            if v not in (0, 1, 2):
-                raise TCAMError(f"invalid trit value {t!r}")
-            values.append(v)
-        if not values:
-            raise TCAMError("a ternary word must have at least one trit")
-        self._data = np.array(values, dtype=np.int8)
+        if isinstance(trits, np.ndarray) and trits.dtype == np.int8 and trits.ndim == 1:
+            # Fast path for the hot workload constructors: one vectorized
+            # validation instead of a per-trit Python loop.
+            if trits.size == 0:
+                raise TCAMError("a ternary word must have at least one trit")
+            if not np.isin(trits, _TRIT_CODES).all():
+                bad = trits[~np.isin(trits, _TRIT_CODES)][0]
+                raise TCAMError(f"invalid trit value {bad!r}")
+            self._data = trits.copy()
+        else:
+            values = []
+            for t in trits:
+                v = int(t)
+                if v not in (0, 1, 2):
+                    raise TCAMError(f"invalid trit value {t!r}")
+                values.append(v)
+            if not values:
+                raise TCAMError("a ternary word must have at least one trit")
+            self._data = np.array(values, dtype=np.int8)
         self._data.setflags(write=False)
 
     # -- Sequence protocol ------------------------------------------------
@@ -166,6 +179,65 @@ def mismatch_counts(stored: np.ndarray, key: np.ndarray) -> np.ndarray:
     return np.count_nonzero(relevant & differs, axis=1)
 
 
+def pack_keys(keys: Iterable[TernaryWord]) -> np.ndarray:
+    """Stack search keys into one ``(n_keys, cols)`` int8 matrix.
+
+    All keys must share a width; the batched search engine compares the
+    whole stack against the stored matrix in one broadcasted pass.
+    """
+    arrays = [k.as_array() for k in keys]
+    if not arrays:
+        raise TCAMError("a key batch must contain at least one key")
+    width = arrays[0].shape[0]
+    for a in arrays[1:]:
+        if a.shape[0] != width:
+            raise TCAMError(
+                f"all keys in a batch must share a width; got {a.shape[0]} vs {width}"
+            )
+    return np.stack(arrays)
+
+
+def mismatch_counts_batch(stored: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Broadcasted mismatch counts for a whole key batch.
+
+    Args:
+        stored: ``(rows, cols)`` int8 matrix of trit encodings.
+        keys: ``(n_keys, cols)`` int8 matrix of search keys.
+
+    Returns:
+        ``(n_keys, rows)`` int array of per-row conducting-cell counts,
+        one row of the result per key (``result[k]`` equals
+        :func:`mismatch_counts` of ``keys[k]``).
+    """
+    stored = np.asarray(stored)
+    keys = np.asarray(keys)
+    if stored.ndim != 2 or keys.ndim != 2 or stored.shape[1] != keys.shape[1]:
+        raise TCAMError(
+            f"shape mismatch: stored {stored.shape} vs keys {keys.shape}"
+        )
+    x_code = int(Trit.X)
+    # (n_keys, rows, cols) broadcast: neither side X and the values differ.
+    relevant = (stored[np.newaxis, :, :] != x_code) & (keys[:, np.newaxis, :] != x_code)
+    differs = stored[np.newaxis, :, :] != keys[:, np.newaxis, :]
+    return np.count_nonzero(relevant & differs, axis=2)
+
+
+# Per-column (SL, SLB) drive packed as ``sl*2 + slb``, indexed by trit code:
+# searching 0 raises SL (code 2), searching 1 raises SLB (code 1), X neither.
+_DRIVE_CODE_BY_TRIT = np.array([2, 1, 0], dtype=np.int8)
+
+
+def drive_matrix(keys: np.ndarray) -> np.ndarray:
+    """Packed (SL, SLB) drive codes for a stacked key batch.
+
+    ``drive_matrix(pack_keys(keys))[k]`` equals ``drive_vector(keys[k])``
+    elementwise; the batched search engine XORs consecutive rows to count
+    search-line toggles for the whole batch at once.
+    """
+    keys = np.asarray(keys)
+    return _DRIVE_CODE_BY_TRIT[keys]
+
+
 def word_from_string(text: str) -> TernaryWord:
     """Parse a word like ``"10XX01"``.
 
@@ -187,6 +259,9 @@ def word_from_int(value: int, width: int) -> TernaryWord:
         raise TCAMError(f"width must be >= 1, got {width}")
     if value < 0 or value >= (1 << width):
         raise TCAMError(f"value {value} does not fit in {width} bits")
+    if width <= 62:
+        shifts = np.arange(width - 1, -1, -1, dtype=np.int64)
+        return TernaryWord(((value >> shifts) & 1).astype(np.int8))
     return TernaryWord((value >> (width - 1 - i)) & 1 for i in range(width))
 
 
@@ -200,9 +275,9 @@ def prefix_word(value: int, prefix_len: int, width: int) -> TernaryWord:
     """
     if not 0 <= prefix_len <= width:
         raise TCAMError(f"prefix length {prefix_len} outside [0, {width}]")
-    bits = word_from_int(value, width)
-    trits = [bits[i] if i < prefix_len else Trit.X for i in range(width)]
-    return TernaryWord(trits)
+    data = word_from_int(value, width).as_array().copy()
+    data[prefix_len:] = int(Trit.X)
+    return TernaryWord(data)
 
 
 def random_word(

@@ -138,19 +138,47 @@ class HDCMemory:
 
     def classify(self, hypervector: np.ndarray) -> HDCQueryResult:
         """Nearest-match classification of one binary hypervector."""
+        query = self._to_word(hypervector)
+        if not self._labels:
+            return HDCQueryResult(label=None, distance=0, energy=0.0)
+        outcome = self.array.nearest_match(query)
+        label = self._labels[outcome.row] if outcome.row is not None else None
+        return HDCQueryResult(
+            label=label, distance=outcome.distance, energy=outcome.energy.total
+        )
+
+    def classify_batch(self, hypervectors: np.ndarray) -> list[HDCQueryResult]:
+        """Classify a stack of hypervectors on the batched search path.
+
+        Args:
+            hypervectors: ``(n, D)`` binary matrix (or any iterable of
+                ``(D,)`` vectors).
+
+        Returns one result per query, identical to calling
+        :meth:`classify` one vector at a time but sharing the per-class
+        match-line trajectory work across the whole stack.
+        """
+        queries = [self._to_word(hv) for hv in hypervectors]
+        if not self._labels:
+            return [HDCQueryResult(label=None, distance=0, energy=0.0) for _ in queries]
+        outcomes = self.array.nearest_match_batch(queries)
+        return [
+            HDCQueryResult(
+                label=self._labels[o.row] if o.row is not None else None,
+                distance=o.distance,
+                energy=o.energy.total,
+            )
+            for o in outcomes
+        ]
+
+    def _to_word(self, hypervector: np.ndarray) -> TernaryWord:
         hv = np.asarray(hypervector, dtype=np.int8)
         if hv.shape != (self.array.geometry.cols,):
             raise WorkloadError(
                 f"hypervector must have shape ({self.array.geometry.cols},), "
                 f"got {hv.shape}"
             )
-        if not self._labels:
-            return HDCQueryResult(label=None, distance=0, energy=0.0)
-        outcome = self.array.nearest_match(TernaryWord(hv))
-        label = self._labels[outcome.row] if outcome.row is not None else None
-        return HDCQueryResult(
-            label=label, distance=outcome.distance, energy=outcome.energy.total
-        )
+        return TernaryWord(hv)
 
     def x_density(self) -> float:
         """Fraction of stored prototype trits that are X."""

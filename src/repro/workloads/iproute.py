@@ -125,10 +125,23 @@ class RoutingTable:
         """One TCAM lookup; returns ``(route | None, SearchOutcome)``."""
         key = word_from_int(address, ADDRESS_BITS)
         outcome = array.search(key)
-        route = None
+        return self._route_of(outcome), outcome
+
+    def lookup_tcam_batch(self, array: TCAMArray, addresses: list[int]):
+        """Look up an address trace on the batched search path.
+
+        Returns one ``(route | None, SearchOutcome)`` pair per address,
+        identical to calling :meth:`lookup_tcam` address by address but
+        sharing the per-mismatch-class trajectory work across the trace.
+        """
+        keys = [word_from_int(a, ADDRESS_BITS) for a in addresses]
+        outcomes = array.search_batch(keys)
+        return [(self._route_of(outcome), outcome) for outcome in outcomes]
+
+    def _route_of(self, outcome) -> Route | None:
         if outcome.first_match is not None and outcome.first_match < len(self.routes):
-            route = self.routes[outcome.first_match]
-        return route, outcome
+            return self.routes[outcome.first_match]
+        return None
 
 
 def synthetic_routing_table(

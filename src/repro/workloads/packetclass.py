@@ -132,13 +132,16 @@ class Packet:
 
     def to_key(self) -> TernaryWord:
         """Fully specified search key."""
-        trits = (
-            list(word_from_int(self.src, SRC_BITS))
-            + list(word_from_int(self.dst, DST_BITS))
-            + list(word_from_int(self.port, PORT_BITS))
-            + list(word_from_int(self.proto, PROTO_BITS))
-        )
-        return TernaryWord(trits)
+        parts = []
+        for value, width in (
+            (self.src, SRC_BITS),
+            (self.dst, DST_BITS),
+            (self.port, PORT_BITS),
+            (self.proto, PROTO_BITS),
+        ):
+            shifts = np.arange(width - 1, -1, -1, dtype=np.int64)
+            parts.append(((value >> shifts) & 1).astype(np.int8))
+        return TernaryWord(np.concatenate(parts))
 
 
 class RuleSet:
@@ -190,10 +193,22 @@ class RuleSet:
     def classify_tcam(self, array: TCAMArray, packet: Packet):
         """One TCAM classification; returns ``(rule index | None, outcome)``."""
         outcome = array.search(packet.to_key())
-        rule_idx = None
+        return self._rule_of(outcome), outcome
+
+    def classify_tcam_batch(self, array: TCAMArray, packets: list[Packet]):
+        """Classify a packet burst on the batched search path.
+
+        Returns one ``(rule index | None, outcome)`` pair per packet,
+        identical to calling :meth:`classify_tcam` packet by packet but
+        sharing the per-mismatch-class trajectory work across the burst.
+        """
+        outcomes = array.search_batch([p.to_key() for p in packets])
+        return [(self._rule_of(outcome), outcome) for outcome in outcomes]
+
+    def _rule_of(self, outcome) -> int | None:
         if outcome.first_match is not None and outcome.first_match < len(self._rows):
-            rule_idx = self._rows[outcome.first_match][1]
-        return rule_idx, outcome
+            return self._rows[outcome.first_match][1]
+        return None
 
 
 def synthetic_acl(n_rules: int, rng: np.random.Generator) -> RuleSet:

@@ -104,12 +104,16 @@ def window_key(payload: bytes, position: int, window_bytes: int) -> TernaryWord:
     """
     if position < 0 or position >= len(payload):
         raise WorkloadError(f"position {position} outside the payload")
-    trits: list[Trit] = []
-    for offset in range(window_bytes):
-        index = position + offset
-        value = payload[index] if index < len(payload) else None
-        trits.extend(_key_byte_trits(value))
-    return TernaryWord(trits)
+    index = position + np.arange(window_bytes)
+    in_payload = index < len(payload)
+    values = np.zeros(window_bytes, dtype=np.int64)
+    values[in_payload] = np.frombuffer(payload, dtype=np.uint8)[index[in_payload]]
+    trits = np.empty((window_bytes, TRITS_PER_BYTE), dtype=np.int8)
+    trits[:, 0] = np.where(in_payload, int(Trit.ONE), int(Trit.ZERO))
+    bit_shifts = np.arange(BITS_PER_BYTE - 1, -1, -1)
+    trits[:, 1:] = (values[:, np.newaxis] >> bit_shifts) & 1
+    trits[~in_payload, 1:] = int(Trit.X)
+    return TernaryWord(trits.reshape(-1))
 
 
 @dataclass(frozen=True)
@@ -181,11 +185,23 @@ class SignatureSet:
         return hits
 
     def scan_tcam(self, array: TCAMArray, payload: bytes) -> tuple[list[ScanHit], float]:
-        """Slide the payload past the TCAM; returns (hits, total energy [J])."""
+        """Slide the payload past the TCAM; returns (hits, total energy [J]).
+
+        All window positions go through :meth:`TCAMArray.search_batch` in
+        one call; the sliding window revisits the same few mismatch
+        classes at every position, so nearly the whole scan is served
+        from the trajectory cache.
+        """
+        if not payload:
+            return [], 0.0
+        keys = [
+            window_key(payload, position, self.window_bytes)
+            for position in range(len(payload))
+        ]
+        outcomes = array.search_batch(keys)
         hits = []
         energy = 0.0
-        for position in range(len(payload)):
-            outcome = array.search(window_key(payload, position, self.window_bytes))
+        for position, outcome in enumerate(outcomes):
             energy += outcome.energy_total
             if outcome.first_match is not None and outcome.first_match < len(self.signatures):
                 hits.append(
