@@ -37,6 +37,7 @@ from .errors import (
 )
 from .tcam import (
     ArrayGeometry,
+    BaseOutcome,
     NearestMatchOutcome,
     SearchOutcome,
     SegmentedBank,
@@ -80,6 +81,7 @@ __all__ = [
     "random_word",
     "TCAMArray",
     "ArrayGeometry",
+    "BaseOutcome",
     "SearchOutcome",
     "NearestMatchOutcome",
     "WriteOutcome",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..circuits.rc import discharge_waveform, discharge_waveform_batch
 from ..devices.mosfet import ekv_current_vec
 from ..devices.variability import VariationSpec
@@ -263,10 +264,15 @@ class SampledFeFETArray:
             total += n_hvt * i_hvt_nominal * np.where(v < self.vdd, v / self.vdd, 1.0)
             return total
 
-        grid = np.linspace(0.0, self.t_eval, 33)
-        v_end = discharge_waveform_batch(
-            self.c_ml, currents, np.full(rows, self.vdd), grid
-        )
+        with obs.span("mc.row_batch", rows=rows):
+            m = obs.metrics()
+            if m is not None:
+                m.counter("mc.row_decisions").inc(rows)
+                m.histogram("mc.rows_per_batch").observe(rows)
+            grid = np.linspace(0.0, self.t_eval, 33)
+            v_end = discharge_waveform_batch(
+                self.c_ml, currents, np.full(rows, self.vdd), grid
+            )
         decisions = v_end > self.v_sense + self._sa_offset
         # Fully masked lines cannot move and always read as a match.
         loaded = np.zeros(rows, dtype=bool)
@@ -321,16 +327,24 @@ class SampledFeFETArray:
         wrong_rows = 0
         wrong_searches = 0
         by_distance: dict[int, int] = {}
-        for key in keys:
-            key_arr = key.as_array()
-            distances = mismatch_counts(self._stored, key_arr)
-            physical = self._physical_row_decisions(key_arr)
-            wrong = physical != (distances == 0)
-            n_wrong = int(np.count_nonzero(wrong))
-            wrong_rows += n_wrong
-            wrong_searches += bool(n_wrong)
-            for d in distances[wrong]:
-                by_distance[int(d)] = by_distance.get(int(d), 0) + 1
+        with obs.span(
+            "mc.campaign", n_keys=len(keys), rows=rows, cols=self.geometry.cols
+        ) as sp:
+            m = obs.metrics()
+            if m is not None:
+                m.counter("mc.samples").inc(len(keys))
+            for key in keys:
+                key_arr = key.as_array()
+                distances = mismatch_counts(self._stored, key_arr)
+                physical = self._physical_row_decisions(key_arr)
+                wrong = physical != (distances == 0)
+                n_wrong = int(np.count_nonzero(wrong))
+                wrong_rows += n_wrong
+                wrong_searches += bool(n_wrong)
+                for d in distances[wrong]:
+                    by_distance[int(d)] = by_distance.get(int(d), 0) + 1
+            if sp is not None:
+                sp.annotate(wrong_rows=wrong_rows, wrong_searches=wrong_searches)
         return ArrayMCResult(
             n_searches=len(keys),
             n_row_decisions=len(keys) * rows,

@@ -19,6 +19,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..errors import CircuitError
 
 
@@ -234,6 +235,12 @@ def discharge_waveform_batch(
     v = np.array(v_start, dtype=float)
     if v.ndim != 1:
         raise CircuitError(f"v_start must be 1-D, got shape {v.shape}")
+
+    m = obs.metrics()
+    if m is not None:
+        m.counter("rk4.batched_integrations").inc()
+        m.histogram("rk4.batch_size").observe(v.size)
+        m.counter("rk4.steps").inc((t.size - 1) * v.size)
 
     def dv_dt(volts: np.ndarray) -> np.ndarray:
         return np.where(volts <= v_floor, 0.0, -np.asarray(currents(volts)) / capacitance)

@@ -8,14 +8,25 @@ Exposes the library's main analyses without writing Python::
     python -m repro mc --design fefet2t --samples 500 --sigma-scale 2
     python -m repro lpm --routes 100 --lookups 200 --design fefet2t_lv
     python -m repro disturb --scheme V/2 --pulses 10000
+    python -m repro trace lpm --routes 100 --lookups 200
 
 Every command prints a table / report to stdout and returns a process
-exit code of 0 on success.
+exit code of 0 on success.  Flags are uniform across subcommands:
+``--design``, ``--rows``, ``--cols`` and ``--seed`` mean the same thing
+wherever they apply, and every analysis command accepts ``--json`` to
+emit a machine-readable dict (the same shapes as the outcomes'
+``to_dict()`` / the ledgers' ``as_dict()``) instead of tables.
+
+``trace <subcommand> ...`` runs any other subcommand under the
+observability layer (:mod:`repro.obs`): the span tree and metrics
+registry are printed after the command's own output, and
+``--trace-out PATH`` additionally writes the trace as JSON lines.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -28,6 +39,7 @@ from .devices.material import HZO_10NM
 from .core import all_designs, build_array, get_design
 from .core.ml_voltage import margin_at_vml
 from .devices.variability import NOMINAL_VARIATION
+from .energy.accounting import EnergyLedger
 from .reporting.table import Table
 from .tcam import ArrayGeometry
 from .tcam.cells.fefet2t import default_fefet_cell_params
@@ -35,8 +47,36 @@ from .tcam.trit import random_word
 from .units import eng
 from .workloads.iproute import synthetic_routing_table, trace_addresses
 
+#: Subcommands the ``trace`` wrapper may run (everything but itself).
+TRACEABLE_COMMANDS = (
+    "designs",
+    "compare",
+    "margin",
+    "mc",
+    "lpm",
+    "disturb",
+    "retention",
+    "report",
+    "advise",
+)
 
-def _cmd_designs(_args: argparse.Namespace) -> int:
+
+def _emit_json(payload: dict) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=False))
+
+
+def _cmd_designs(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        _emit_json(
+            {
+                "command": "designs",
+                "designs": [
+                    {"key": s.name, "sensing": s.sensing, "description": s.description}
+                    for s in all_designs()
+                ],
+            }
+        )
+        return 0
     table = Table(title="Registered TCAM designs", columns=["key", "sensing", "description"])
     for spec in all_designs():
         table.add_row(spec.name, spec.sensing, spec.description)
@@ -49,24 +89,37 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     geometry = ArrayGeometry(args.rows, args.cols)
     words = [random_word(args.cols, rng, x_fraction=args.x_fraction) for _ in range(args.rows)]
     keys = [random_word(args.cols, rng) for _ in range(args.searches)]
+    specs = [get_design(args.design)] if args.design else list(all_designs())
     table = Table(
         title=f"Design comparison ({args.rows}x{args.cols}, {args.searches} searches)",
         columns=["design", "E/search", "E/bit", "delay", "cycle", "errors"],
     )
-    for spec in all_designs():
+    results = []
+    for spec in specs:
         array = build_array(spec, geometry)
         array.load(words)
-        energy = 0.0
+        ledger = EnergyLedger()
         delay = 0.0
         cycle = 0.0
         errors = 0
         for key in keys:
             out = array.search(key)
-            energy += out.energy_total
+            ledger.merge(out.energy)
             delay = max(delay, out.search_delay)
             cycle = max(cycle, out.cycle_time)
             errors += out.functional_errors
-        mean = energy / args.searches
+        mean = ledger.total / args.searches
+        results.append(
+            {
+                "design": spec.name,
+                "energy_per_search": mean,
+                "energy_per_bit": mean / (args.rows * args.cols),
+                "search_delay": delay,
+                "cycle_time": cycle,
+                "functional_errors": errors,
+                "energy": ledger.as_dict(),
+            }
+        )
         table.add_row(
             spec.name,
             eng(mean, "J"),
@@ -75,6 +128,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             eng(cycle, "s"),
             errors,
         )
+    if args.json:
+        _emit_json(
+            {
+                "command": "compare",
+                "rows": args.rows,
+                "cols": args.cols,
+                "searches": args.searches,
+                "seed": args.seed,
+                "designs": results,
+            }
+        )
+        return 0
     print(table)
     return 0
 
@@ -83,6 +148,21 @@ def _cmd_margin(args: argparse.Namespace) -> int:
     spec = get_design(args.design)
     geometry = ArrayGeometry(args.rows, args.cols)
     report = margin_at_vml(spec, geometry, args.swing)
+    if args.json:
+        _emit_json(
+            {
+                "command": "margin",
+                "design": spec.name,
+                "rows": args.rows,
+                "cols": args.cols,
+                "v_ml": report.v_ml,
+                "margin": report.margin,
+                "guardband_sigmas": report.guardband_sigmas,
+                "energy_per_search": report.energy_per_search,
+                "functional": report.functional,
+            }
+        )
+        return 0
     print(f"design          : {spec.name}")
     print(f"ML swing        : {report.v_ml:.3f} V")
     print(f"sense margin    : {report.margin:.4f} V")
@@ -97,6 +177,22 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     array = build_array(spec, ArrayGeometry(args.rows, args.cols))
     variation = NOMINAL_VARIATION.scaled(args.sigma_scale)
     mc = run_margin_mc(array, variation, n_samples=args.samples, seed=args.seed)
+    if args.json:
+        _emit_json(
+            {
+                "command": "mc",
+                "design": spec.name,
+                "rows": args.rows,
+                "cols": args.cols,
+                "seed": args.seed,
+                "samples": mc.n_samples,
+                "margin_mean": mc.margin_mean,
+                "margin_sigma": mc.margin_sigma,
+                "margin_p1": mc.margin_percentile(1),
+                "failure_rate": mc.failure_rate,
+            }
+        )
+        return 0
     print(f"design          : {spec.name}")
     print(f"samples         : {mc.n_samples}")
     print(f"margin mean     : {mc.margin_mean:.4f} V")
@@ -109,25 +205,44 @@ def _cmd_mc(args: argparse.Namespace) -> int:
 def _cmd_lpm(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     table = synthetic_routing_table(args.routes, rng)
-    rows = 1 << (args.routes - 1).bit_length()
+    rows = args.rows if args.rows is not None else 1 << (args.routes - 1).bit_length()
     array = build_array(get_design(args.design), ArrayGeometry(rows, 32))
     table.deploy(array)
-    energy = 0.0
     agreements = 0
     addresses = trace_addresses(table, args.lookups, rng)
-    for address in addresses:
-        route, outcome = table.lookup_tcam(array, address)
+    ledger = EnergyLedger()
+    last_outcome = None
+    for address, (route, outcome) in zip(
+        addresses, table.lookup_tcam_batch(array, addresses)
+    ):
         oracle = table.lookup_reference(address)
-        energy += outcome.energy_total
+        ledger.merge(outcome.energy)
+        last_outcome = outcome
         ok = (route is None and oracle is None) or (
             route is not None and oracle is not None and route.length == oracle.length
         )
         agreements += ok
+    if args.json:
+        _emit_json(
+            {
+                "command": "lpm",
+                "design": args.design,
+                "routes": len(table),
+                "rows": rows,
+                "seed": args.seed,
+                "lookups": len(addresses),
+                "oracle_agreement": agreements,
+                "energy_per_lookup": ledger.total / len(addresses),
+                "energy": ledger.as_dict(),
+                "last_outcome": last_outcome.to_dict(),
+            }
+        )
+        return 0 if agreements == len(addresses) else 1
     print(f"design          : {args.design}")
     print(f"routes          : {len(table)} (array {rows}x32)")
     print(f"lookups         : {len(addresses)}")
     print(f"oracle agreement: {agreements}/{len(addresses)}")
-    print(f"energy/lookup   : {eng(energy / len(addresses), 'J')}")
+    print(f"energy/lookup   : {eng(ledger.total / len(addresses), 'J')}")
     return 0 if agreements == len(addresses) else 1
 
 
@@ -135,6 +250,17 @@ def _cmd_disturb(args: argparse.Namespace) -> int:
     scheme = {"V/2": V_HALF, "V/3": V_THIRD}[args.scheme]
     analysis = DisturbAnalysis(default_fefet_cell_params(), scheme)
     point = analysis.point(args.pulses)
+    if args.json:
+        _emit_json(
+            {
+                "command": "disturb",
+                "scheme": scheme.name,
+                "pulses": point.n_pulses,
+                "retention_fraction": point.retention_fraction,
+                "vt_shift": point.vt_shift,
+            }
+        )
+        return 0
     print(f"scheme          : {scheme.name}")
     print(f"disturb pulses  : {point.n_pulses}")
     print(f"retention       : {point.retention_fraction:.4f}")
@@ -154,6 +280,26 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         nonvolatile_required=args.nonvolatile,
     )
     rec = advise(profile)
+    if args.json:
+        _emit_json(
+            {
+                "command": "advise",
+                "rows": args.rows,
+                "cols": args.cols,
+                "recommended": rec.best.design,
+                "candidates": [
+                    {
+                        "design": c.design,
+                        "total_energy_per_search": c.total_energy_per_search,
+                        "search_delay": c.search_delay,
+                        "feasible": c.feasible,
+                        "excluded_reason": c.excluded_reason,
+                    }
+                    for c in rec.candidates
+                ],
+            }
+        )
+        return 0
     table = Table(
         title="Design advisor",
         columns=["design", "E_total/search", "delay", "status"],
@@ -186,6 +332,19 @@ def _cmd_retention(args: argparse.Namespace) -> int:
     t_k = celsius_to_kelvin(args.celsius)
     fraction = model.retention_fraction(args.years * YEAR_SECONDS, t_k)
     t_loss = model.time_to_loss(0.10, t_k)
+    if args.json:
+        _emit_json(
+            {
+                "command": "retention",
+                "celsius": args.celsius,
+                "years": args.years,
+                "retention_fraction": fraction,
+                "years_to_10pct_loss": (
+                    None if t_loss == float("inf") else t_loss / YEAR_SECONDS
+                ),
+            }
+        )
+        return 0
     print(f"temperature     : {args.celsius:.0f} C")
     print(f"storage time    : {args.years:g} years")
     print(f"retention       : {fraction:.4f}")
@@ -196,6 +355,51 @@ def _cmd_retention(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_trace_out(rest: list[str]) -> tuple[str | None, list[str]]:
+    """Pull ``--trace-out PATH`` out of a REMAINDER argument list.
+
+    argparse's REMAINDER captures everything after the wrapped
+    subcommand's name, including trace's own option when it is given
+    last (``repro trace lpm ... --trace-out t.jsonl``), so it is
+    extracted by hand here and both orderings work.
+    """
+    path = None
+    passthrough: list[str] = []
+    i = 0
+    while i < len(rest):
+        arg = rest[i]
+        if arg == "--trace-out":
+            if i + 1 >= len(rest):
+                raise SystemExit("--trace-out needs a PATH argument")
+            path = rest[i + 1]
+            i += 2
+            continue
+        if arg.startswith("--trace-out="):
+            path = arg.split("=", 1)[1]
+            i += 1
+            continue
+        passthrough.append(arg)
+        i += 1
+    return path, passthrough
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from . import obs
+    from .obs.sinks import JsonLinesSink, StdoutSummarySink
+
+    trailing_out, rest = _split_trace_out(list(args.rest))
+    trace_out = args.trace_out or trailing_out
+    sinks: list = [StdoutSummarySink()]
+    if trace_out:
+        sinks.append(JsonLinesSink(path=trace_out))
+    sub_argv = [args.trace_command, *rest]
+    with obs.observe(sinks=sinks):
+        code = main(sub_argv)
+    if trace_out:
+        print(f"trace written to {trace_out}")
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -204,16 +408,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("designs", help="list the design registry").set_defaults(
-        func=_cmd_designs
-    )
+    designs = sub.add_parser("designs", help="list the design registry")
+    designs.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    designs.set_defaults(func=_cmd_designs)
 
-    compare = sub.add_parser("compare", help="compare all designs on one workload")
+    compare = sub.add_parser("compare", help="compare designs on one workload")
+    compare.add_argument("--design", default=None, help="restrict to one design")
     compare.add_argument("--rows", type=int, default=64)
     compare.add_argument("--cols", type=int, default=64)
     compare.add_argument("--searches", type=int, default=8)
     compare.add_argument("--x-fraction", type=float, default=0.3)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     compare.set_defaults(func=_cmd_compare)
 
     margin = sub.add_parser("margin", help="sense margin at one ML swing")
@@ -221,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     margin.add_argument("--swing", type=float, default=0.55)
     margin.add_argument("--rows", type=int, default=16)
     margin.add_argument("--cols", type=int, default=64)
+    margin.add_argument("--json", action="store_true", help="emit JSON instead of text")
     margin.set_defaults(func=_cmd_margin)
 
     mc = sub.add_parser("mc", help="Monte-Carlo margin analysis")
@@ -230,23 +437,33 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--rows", type=int, default=16)
     mc.add_argument("--cols", type=int, default=64)
     mc.add_argument("--seed", type=int, default=0)
+    mc.add_argument("--json", action="store_true", help="emit JSON instead of text")
     mc.set_defaults(func=_cmd_mc)
 
     lpm = sub.add_parser("lpm", help="IP longest-prefix-match demo")
     lpm.add_argument("--design", default="fefet2t_lv")
     lpm.add_argument("--routes", type=int, default=100)
     lpm.add_argument("--lookups", type=int, default=200)
+    lpm.add_argument(
+        "--rows",
+        type=int,
+        default=None,
+        help="array rows (default: routes rounded up to a power of two)",
+    )
     lpm.add_argument("--seed", type=int, default=0)
+    lpm.add_argument("--json", action="store_true", help="emit JSON instead of text")
     lpm.set_defaults(func=_cmd_lpm)
 
     disturb = sub.add_parser("disturb", help="write-disturb accumulation")
     disturb.add_argument("--scheme", choices=["V/2", "V/3"], default="V/2")
     disturb.add_argument("--pulses", type=int, default=10000)
+    disturb.add_argument("--json", action="store_true", help="emit JSON instead of text")
     disturb.set_defaults(func=_cmd_disturb)
 
     retention = sub.add_parser("retention", help="thermal retention projection")
     retention.add_argument("--celsius", type=float, default=85.0)
     retention.add_argument("--years", type=float, default=10.0)
+    retention.add_argument("--json", action="store_true", help="emit JSON instead of text")
     retention.set_defaults(func=_cmd_retention)
 
     report = sub.add_parser("report", help="aggregate benchmark artifacts")
@@ -261,7 +478,21 @@ def build_parser() -> argparse.ArgumentParser:
     advise_cmd.add_argument("--rate", type=float, default=1e8)
     advise_cmd.add_argument("--max-latency", type=float, default=2e-9)
     advise_cmd.add_argument("--nonvolatile", action="store_true")
+    advise_cmd.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     advise_cmd.set_defaults(func=_cmd_advise)
+
+    trace = sub.add_parser(
+        "trace", help="run any subcommand under the observability layer"
+    )
+    trace.add_argument("trace_command", choices=list(TRACEABLE_COMMANDS))
+    trace.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="also write the trace as JSON lines to PATH",
+    )
+    trace.add_argument("rest", nargs=argparse.REMAINDER)
+    trace.set_defaults(func=_cmd_trace)
 
     return parser
 

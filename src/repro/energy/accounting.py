@@ -9,7 +9,7 @@ of one.
 from __future__ import annotations
 
 import enum
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 
 from ..errors import ReproError
 
@@ -72,6 +72,33 @@ class EnergyLedger:
     def total(self) -> float:
         """Sum over all components [J]."""
         return sum(self._entries.values())
+
+    # -- stable read surface -------------------------------------------------
+    # The supported way to consume a ledger (benchmarks, workloads and the
+    # trace exporter all go through these); ``_entries`` stays private.
+
+    def components(self) -> tuple[str, ...]:
+        """Component names with booked energy, in booking order."""
+        return tuple(self._entries)
+
+    def as_dict(self) -> dict[str, float]:
+        """Copy of the component map in booking order (cf. sorted
+        :meth:`breakdown`)."""
+        return dict(self._entries)
+
+    def __iter__(self) -> "Iterator[tuple[str, float]]":
+        """Iterate ``(component, joules)`` pairs in booking order."""
+        return iter(self._entries.items())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def fraction(self, component: EnergyComponent | str) -> float:
+        """``component``'s share of the total (0.0 for an empty ledger)."""
+        total = self.total
+        if total == 0.0:
+            return 0.0
+        return self.get(component) / total
 
     def breakdown(self) -> dict[str, float]:
         """Copy of the component map, largest first."""

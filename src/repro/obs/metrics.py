@@ -1,0 +1,147 @@
+"""Metrics registry: counters, gauges and histograms.
+
+The registry is a flat namespace of named instruments, created on first
+use (``registry.counter("mlcache.hits").inc()``).  Instruments are
+deliberately minimal -- the simulator is single-threaded, so there is no
+locking -- and :meth:`MetricsRegistry.snapshot` renders everything to one
+plain dict for the sinks.
+
+Naming convention (see DESIGN.md): dotted, ``<subsystem>.<quantity>`` --
+``tcam.searches``, ``tcam.batch_size``, ``mlcache.hits``, ``rk4.batch_size``,
+``mc.row_decisions``, ``energy.<component>``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..errors import ReproError
+
+
+class Counter:
+    """Monotonically increasing value (counts or accumulated joules)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if not amount >= 0.0:  # also catches NaN
+            raise ReproError(f"counter increment must be non-negative, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value (cache size, occupancy...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean).
+
+    Full bucketing is overkill for a single-process simulator; the
+    summary statistics are what the stdout sink tabulates and what the
+    tests assert against.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 with no samples)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Create-on-first-use namespace of instruments.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name as a different kind raises.
+    """
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ReproError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict render of every instrument, sorted by name.
+
+        Counters and gauges map to their value; histograms to a
+        ``{count, sum, min, max, mean}`` sub-dict (min/max are ``None``
+        when empty).
+        """
+        out: dict[str, Any] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                out[name] = {
+                    "count": instrument.count,
+                    "sum": instrument.total,
+                    "min": instrument.min if instrument.count else None,
+                    "max": instrument.max if instrument.count else None,
+                    "mean": instrument.mean,
+                }
+            else:
+                out[name] = instrument.value
+        return out

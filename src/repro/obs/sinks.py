@@ -1,0 +1,124 @@
+"""Pluggable exporters for finished traces and metric snapshots.
+
+A sink receives the session's span trees and metrics snapshot once, when
+the session ends (or on an explicit flush).  Three are provided:
+
+* :class:`JsonLinesSink` -- one JSON object per span (flattened with
+  ``span_id``/``parent_id``/``depth``) plus one ``metrics`` record, the
+  machine-readable form the trace CLI and tests consume,
+* :class:`StdoutSummarySink` -- span-tree and metrics tables rendered
+  through :mod:`repro.reporting`,
+* :class:`NullSink` -- discards everything; with it (or no sink at all)
+  the observability layer is pure bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Protocol
+
+from ..reporting.table import Table
+from ..units import eng
+from .span import Span
+
+
+class Sink(Protocol):
+    """Anything that can receive one finished observation."""
+
+    def export(self, spans: list[Span], metrics: dict[str, Any]) -> None:
+        """Consume the span trees and the metrics snapshot."""
+        ...  # pragma: no cover
+
+
+def span_records(spans: list[Span]) -> list[dict[str, Any]]:
+    """Flatten span trees into parent-linked records.
+
+    Each record carries ``span_id`` (pre-order index across all trees),
+    ``parent_id`` (``None`` for roots) and ``depth`` alongside the span's
+    own ``to_dict()`` payload minus the nested children.
+    """
+    records: list[dict[str, Any]] = []
+
+    def visit(node: Span, parent_id: int | None, depth: int) -> None:
+        span_id = len(records)
+        payload = node.to_dict()
+        payload.pop("children")
+        payload.update(span_id=span_id, parent_id=parent_id, depth=depth)
+        records.append(payload)
+        for child in node.children:
+            visit(child, span_id, depth + 1)
+
+    for root in spans:
+        visit(root, None, 0)
+    return records
+
+
+class NullSink:
+    """Discards everything (the explicit \"observability off\" endpoint)."""
+
+    def export(self, spans: list[Span], metrics: dict[str, Any]) -> None:
+        """Do nothing."""
+
+
+class JsonLinesSink:
+    """Writes one JSON line per span record, then one metrics record.
+
+    Args:
+        stream: Open text stream to write to (the caller owns closing
+            it); alternatively pass ``path`` to have the sink open and
+            close a file itself.
+        path: File path to (over)write.
+    """
+
+    def __init__(self, stream: IO[str] | None = None, path: str | None = None) -> None:
+        if (stream is None) == (path is None):
+            raise ValueError("pass exactly one of stream= or path=")
+        self._stream = stream
+        self._path = path
+
+    def export(self, spans: list[Span], metrics: dict[str, Any]) -> None:
+        """Emit ``{"kind": "span", ...}`` lines and one metrics line."""
+        lines = [
+            json.dumps({"kind": "span", **record}) for record in span_records(spans)
+        ]
+        lines.append(json.dumps({"kind": "metrics", "metrics": metrics}))
+        text = "\n".join(lines) + "\n"
+        if self._stream is not None:
+            self._stream.write(text)
+        else:
+            with open(self._path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+
+
+class StdoutSummarySink:
+    """Prints a span-tree table and a metrics table to stdout."""
+
+    def export(self, spans: list[Span], metrics: dict[str, Any]) -> None:
+        """Render both tables through :class:`repro.reporting.Table`."""
+        tree = Table(
+            title="Trace spans",
+            columns=["span", "wall", "delay", "E_self", "E_total"],
+        )
+        for root in spans:
+            for depth, node in root.walk():
+                tree.add_row(
+                    "  " * depth + node.name,
+                    eng(node.wall_time, "s"),
+                    eng(node.delay, "s") if node.delay is not None else "-",
+                    eng(node.energy.total, "J"),
+                    eng(node.total_energy().total, "J"),
+                )
+        print(tree)
+        if metrics:
+            table = Table(title="Metrics", columns=["metric", "value"])
+            for name, value in metrics.items():
+                if isinstance(value, dict):
+                    rendered = (
+                        f"n={value['count']} mean={value['mean']:.4g} "
+                        f"min={value['min']} max={value['max']}"
+                    )
+                else:
+                    rendered = f"{value:g}"
+                table.add_row(name, rendered)
+            print()
+            print(table)

@@ -22,6 +22,7 @@ from .trit import (
     word_from_string,
 )
 from .mlcache import TrajectoryCache
+from .outcome import BaseOutcome
 from .cell import CellDescriptor, WriteCost
 from .area import TechNode, TECH_45NM, cell_dimensions
 from .array import (
@@ -34,7 +35,7 @@ from .array import (
 from .bank import HierarchicalBank, SegmentedBank, SegmentedSearchOutcome
 from .nand_array import NANDTCAMArray
 from .weighted import DistanceSearchOutcome, WeightedTCAMArray
-from .chip import GatingPolicy, TCAMChip
+from .chip import ChipSearchOutcome, GatingPolicy, TCAMChip
 from .priority import MatchReducer, PriorityEncoder
 from .writer import WearLevelingScheduler, WritePlan, WriteScheduler
 
@@ -46,6 +47,7 @@ __all__ = [
     "pack_keys",
     "mismatch_counts_batch",
     "TrajectoryCache",
+    "BaseOutcome",
     "CellDescriptor",
     "WriteCost",
     "TechNode",
@@ -63,6 +65,7 @@ __all__ = [
     "WeightedTCAMArray",
     "DistanceSearchOutcome",
     "TCAMChip",
+    "ChipSearchOutcome",
     "GatingPolicy",
     "PriorityEncoder",
     "MatchReducer",

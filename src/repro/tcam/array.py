@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..circuits.matchline import MatchLine, MatchLineLoad
 from ..circuits.precharge import FullSwingPrecharge, PrechargeScheme
 from ..circuits.rc import discharge_waveform_batch
@@ -37,6 +38,7 @@ from ..errors import TCAMError
 from .area import TECH_45NM, TechNode, cell_dimensions
 from .cell import CellDescriptor
 from .mlcache import TrajectoryCache
+from .outcome import BaseOutcome
 from .priority import PriorityEncoder
 from .trit import (
     TernaryWord,
@@ -49,6 +51,19 @@ from .trit import (
 )
 
 _SENSING_STYLES = ("precharge", "current_race")
+
+# Ledger component -> per-phase child span of one traced search.  Every
+# component a search can book appears here, so a traced span tree carries
+# the outcome ledger's exact component map (the span-sum invariant).
+_SPAN_ENERGY_GROUPS = {
+    EnergyComponent.SEARCHLINE.value: "array.sl_drive",
+    EnergyComponent.ML_PRECHARGE.value: "array.ml",
+    EnergyComponent.ML_DISSIPATION.value: "array.ml",
+    EnergyComponent.SENSE_AMP.value: "array.sense",
+    EnergyComponent.RACE_SOURCE.value: "array.sense",
+    EnergyComponent.PRIORITY_ENCODER.value: "array.encode",
+    EnergyComponent.LEAKAGE.value: "array.standby",
+}
 
 
 @dataclass(frozen=True)
@@ -71,7 +86,7 @@ class ArrayGeometry:
 
 
 @dataclass(frozen=True)
-class SearchOutcome:
+class SearchOutcome(BaseOutcome):
     """Everything one search returns.
 
     Attributes:
@@ -94,10 +109,11 @@ class SearchOutcome:
     miss_histogram: dict[int, int]
     functional_errors: int
 
-    @property
-    def energy_total(self) -> float:
-        """Total search energy [J]."""
-        return self.energy.total
+    def _extra_dict(self) -> dict:
+        return {
+            "miss_histogram": {int(k): int(v) for k, v in self.miss_histogram.items()},
+            "functional_errors": int(self.functional_errors),
+        }
 
 
 @dataclass(frozen=True)
@@ -130,7 +146,7 @@ class _RaceClassResult:
 
 
 @dataclass(frozen=True)
-class NearestMatchOutcome:
+class NearestMatchOutcome(BaseOutcome):
     """Result of an approximate (best-match) search.
 
     Attributes:
@@ -145,6 +161,24 @@ class NearestMatchOutcome:
     distance: int
     energy: EnergyLedger
     search_delay: float
+
+    @property
+    def match_mask(self) -> None:
+        """Per-row verdicts are not modeled in best-match mode."""
+        return None
+
+    @property
+    def first_match(self) -> int | None:
+        """Canonical alias for :attr:`row`."""
+        return self.row
+
+    @property
+    def cycle_time(self) -> float:
+        """The full evaluation window is the cycle in best-match mode."""
+        return self.search_delay
+
+    def _extra_dict(self) -> dict:
+        return {"row": self.row, "distance": int(self.distance)}
 
 
 @dataclass(frozen=True)
@@ -358,6 +392,11 @@ class TCAMArray:
                 self._write_counts[row, col] += 1
         self._stored[row] = new
         self._valid[row] = True
+        m = obs.metrics()
+        if m is not None:
+            m.counter("tcam.writes").inc()
+            m.counter("tcam.cells_changed").inc(changed)
+            m.counter("energy.write").inc(ledger.total)
         return WriteOutcome(row=row, energy=ledger, latency=latency, cells_changed=changed)
 
     def invalidate(self, row: int) -> None:
@@ -389,6 +428,10 @@ class TCAMArray:
     def search(self, key: TernaryWord, row_mask: np.ndarray | None = None) -> SearchOutcome:
         """Execute one search and account its energy and timing.
 
+        When an observability session is active, the search is traced as
+        an ``array.search`` span whose per-phase children carry exact
+        slices of the returned ledger (see :data:`_SPAN_ENERGY_GROUPS`).
+
         Args:
             key: Search key (may contain X columns, which are masked).
             row_mask: Optional per-row evaluation mask.  Rows outside the
@@ -396,6 +439,20 @@ class TCAMArray:
                 the selective-precharge mechanism used by
                 :class:`~repro.tcam.bank.SegmentedBank`.
         """
+        with obs.span(
+            "array.search",
+            rows=self.geometry.rows,
+            cols=self.geometry.cols,
+            sensing=self.sensing,
+        ) as sp:
+            outcome = self._search_impl(key, row_mask)
+            if sp is not None:
+                self._book_search_span(sp, outcome, n_searches=1)
+            return outcome
+
+    def _search_impl(
+        self, key: TernaryWord, row_mask: np.ndarray | None = None
+    ) -> SearchOutcome:
         if len(key) != self.geometry.cols:
             raise TCAMError(
                 f"key width {len(key)} does not match array cols {self.geometry.cols}"
@@ -463,6 +520,29 @@ class TCAMArray:
         keys = list(keys)
         if not keys:
             return []
+        with obs.span(
+            "array.search_batch",
+            rows=self.geometry.rows,
+            cols=self.geometry.cols,
+            sensing=self.sensing,
+            n_keys=len(keys),
+        ) as sp:
+            m = obs.metrics()
+            cache_before = self._cache_counters() if m is not None else None
+            outcomes = self._search_batch_impl(keys, row_mask)
+            if sp is not None:
+                ledger = EnergyLedger.sum(o.energy for o in outcomes)
+                sp.add_energy(ledger)
+                self._book_batch_metrics(len(keys), ledger)
+            if m is not None:
+                self._book_cache_metrics(m, cache_before)
+            return outcomes
+
+    def _search_batch_impl(
+        self,
+        keys: list[TernaryWord],
+        row_mask: np.ndarray | None = None,
+    ) -> list[SearchOutcome]:
         packed = pack_keys(keys)
         if packed.shape[1] != self.geometry.cols:
             raise TCAMError(
@@ -488,19 +568,22 @@ class TCAMArray:
         per_key: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         needed: list[tuple[int, int]] = []
         seen: set[tuple[int, int]] = set()
-        for k in range(len(keys)):
-            unique, inverse = np.unique(miss_all[k], return_inverse=True)
-            counts_active = np.bincount(inverse[active], minlength=unique.size)
-            counts_valid = np.bincount(inverse[self._valid], minlength=unique.size)
-            per_key.append((unique, counts_active, counts_valid))
-            driven = int(driven_all[k])
-            for n, c in zip(unique, counts_active):
-                if c:
-                    pair = (int(n), driven)
-                    if pair not in seen:
-                        seen.add(pair)
-                        if self._ml_cache.get(self._class_cache_key(pair)) is None:
-                            needed.append(pair)
+        with obs.span("array.class_dedup", n_keys=len(keys)) as sp:
+            for k in range(len(keys)):
+                unique, inverse = np.unique(miss_all[k], return_inverse=True)
+                counts_active = np.bincount(inverse[active], minlength=unique.size)
+                counts_valid = np.bincount(inverse[self._valid], minlength=unique.size)
+                per_key.append((unique, counts_active, counts_valid))
+                driven = int(driven_all[k])
+                for n, c in zip(unique, counts_active):
+                    if c:
+                        pair = (int(n), driven)
+                        if pair not in seen:
+                            seen.add(pair)
+                            if self._ml_cache.get(self._class_cache_key(pair)) is None:
+                                needed.append(pair)
+            if sp is not None:
+                sp.annotate(distinct_classes=len(seen), to_integrate=len(needed))
         self._fill_class_cache(needed)
 
         outcomes: list[SearchOutcome] = []
@@ -525,6 +608,52 @@ class TCAMArray:
                 )
             )
         return outcomes
+
+    # -- observability booking -------------------------------------------------
+
+    def _book_search_span(self, sp, outcome: SearchOutcome, n_searches: int) -> None:
+        """Annotate a finished search's span and bump the search metrics.
+
+        The outcome ledger is *read only*: per-phase child spans receive
+        fresh slice ledgers (see :meth:`~repro.obs.span.Span.split_energy`),
+        so tracing can never perturb the returned accounting.
+        """
+        sp.set_delay(outcome.search_delay)
+        sp.annotate(
+            first_match=outcome.first_match,
+            functional_errors=outcome.functional_errors,
+        )
+        sp.split_energy(outcome.energy, _SPAN_ENERGY_GROUPS)
+        self._book_batch_metrics(n_searches, outcome.energy)
+
+    def _book_batch_metrics(self, n_searches: int, ledger: EnergyLedger) -> None:
+        """Count searches and attribute joules per component."""
+        m = obs.metrics()
+        if m is None:
+            return
+        m.counter("tcam.searches").inc(n_searches)
+        if n_searches > 1:
+            m.histogram("tcam.batch_size").observe(n_searches)
+        for component, joules in ledger:
+            m.counter("energy." + component).inc(joules)
+
+    def _cache_counters(self) -> tuple[int, int, int]:
+        """Trajectory-cache (hits, misses, evictions) snapshot."""
+        cache = self._ml_cache
+        return (cache.hits, cache.misses, cache.evictions)
+
+    def _book_cache_metrics(self, m, before: tuple[int, int, int]) -> None:
+        """Delta-sync cache counters accrued since the ``before`` snapshot.
+
+        Per-lookup counting would sit on the batch engine's hottest loop,
+        so the cache itself only keeps plain integer attributes and the
+        registry is reconciled once per batch here.
+        """
+        after = self._cache_counters()
+        for name, prev, now in zip(
+            ("mlcache.hits", "mlcache.misses", "mlcache.evictions"), before, after
+        ):
+            m.counter(name).inc(now - prev)
 
     # -- trajectory cache ------------------------------------------------------
 
@@ -554,17 +683,18 @@ class TCAMArray:
         """Compute and cache the given classes, one stacked pass when possible."""
         if not pairs:
             return
-        if self.sensing == "precharge":
-            v_ends = self._ml_voltages_after_eval(pairs)
-            for pair, v_end in zip(pairs, v_ends):
-                self._ml_cache.put(
-                    self._class_cache_key(pair), self._precharge_class_from_v_end(v_end)
-                )
-        else:
-            for pair in pairs:
-                self._ml_cache.put(
-                    self._class_cache_key(pair), self._race_class(pair[0], pair[1])
-                )
+        with obs.span("array.integrate", n_classes=len(pairs), sensing=self.sensing):
+            if self.sensing == "precharge":
+                v_ends = self._ml_voltages_after_eval(pairs)
+                for pair, v_end in zip(pairs, v_ends):
+                    self._ml_cache.put(
+                        self._class_cache_key(pair), self._precharge_class_from_v_end(v_end)
+                    )
+            else:
+                for pair in pairs:
+                    self._ml_cache.put(
+                        self._class_cache_key(pair), self._race_class(pair[0], pair[1])
+                    )
 
     def _cached_class(
         self, n_miss: int, driven_cols: int
@@ -805,6 +935,20 @@ class TCAMArray:
 
         Only supported for precharge-style sensing.
         """
+        with obs.span(
+            "array.nearest_match",
+            rows=self.geometry.rows,
+            cols=self.geometry.cols,
+        ) as sp:
+            outcome = self._nearest_match_impl(key)
+            if sp is not None:
+                sp.set_delay(outcome.search_delay)
+                sp.annotate(row=outcome.row, distance=outcome.distance)
+                sp.split_energy(outcome.energy, _SPAN_ENERGY_GROUPS)
+                self._book_batch_metrics(1, outcome.energy)
+            return outcome
+
+    def _nearest_match_impl(self, key: TernaryWord) -> NearestMatchOutcome:
         if self.sensing != "precharge":
             raise TCAMError("nearest_match() requires precharge-style sensing")
         if len(key) != self.geometry.cols:
@@ -880,6 +1024,26 @@ class TCAMArray:
         keys = list(keys)
         if not keys:
             return []
+        with obs.span(
+            "array.nearest_match_batch",
+            rows=self.geometry.rows,
+            cols=self.geometry.cols,
+            n_keys=len(keys),
+        ) as sp:
+            m = obs.metrics()
+            cache_before = self._cache_counters() if m is not None else None
+            outcomes = self._nearest_match_batch_impl(keys)
+            if sp is not None:
+                ledger = EnergyLedger.sum(o.energy for o in outcomes)
+                sp.add_energy(ledger)
+                self._book_batch_metrics(len(keys), ledger)
+            if m is not None:
+                self._book_cache_metrics(m, cache_before)
+            return outcomes
+
+    def _nearest_match_batch_impl(
+        self, keys: list[TernaryWord]
+    ) -> list[NearestMatchOutcome]:
         packed = pack_keys(keys)
         if packed.shape[1] != self.geometry.cols:
             raise TCAMError(
@@ -1009,7 +1173,6 @@ class TCAMArray:
         """
         if self.sensing != "precharge":
             raise TCAMError("pipelined cycle time applies to precharge sensing")
-        v_pre = self.precharge.target_voltage()
         t_restore = self.precharge.restore_time(self.c_ml, 0.0)  # worst case
         stages = (self.sl_settle_delay, self.t_eval, t_restore)
         return max(stages)

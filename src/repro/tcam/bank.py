@@ -21,15 +21,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..energy.accounting import EnergyLedger
 from ..errors import TCAMError
 from .array import ArrayGeometry, SearchOutcome, TCAMArray
 from .cell import CellDescriptor
+from .outcome import BaseOutcome
 from .trit import TernaryWord
 
 
 @dataclass(frozen=True)
-class SegmentedSearchOutcome:
+class SegmentedSearchOutcome(BaseOutcome):
     """Result of a two-stage segmented search.
 
     Attributes:
@@ -49,6 +51,12 @@ class SegmentedSearchOutcome:
     cycle_time: float
     survivors_stage1: int
     stage2_skipped: bool
+
+    def _extra_dict(self) -> dict:
+        return {
+            "survivors_stage1": int(self.survivors_stage1),
+            "stage2_skipped": bool(self.stage2_skipped),
+        }
 
 
 class SegmentedBank:
@@ -113,12 +121,31 @@ class SegmentedBank:
     # ------------------------------------------------------------------
 
     def search(self, key: TernaryWord) -> SegmentedSearchOutcome:
-        """Two-stage search with exact selective-precharge accounting."""
+        """Two-stage search with exact selective-precharge accounting.
+
+        Traced as a ``bank.search`` span whose ``bank.stage1`` /
+        ``bank.stage2`` children wrap the stage arrays' own spans, so the
+        tree's merged energy reproduces the outcome ledger exactly.
+        """
+        with obs.span(
+            "bank.search", rows=self.geometry.rows, cols=self.geometry.cols
+        ) as sp:
+            outcome = self._search_impl(key)
+            if sp is not None:
+                sp.set_delay(outcome.search_delay)
+                sp.annotate(
+                    survivors_stage1=outcome.survivors_stage1,
+                    stage2_skipped=outcome.stage2_skipped,
+                )
+            return outcome
+
+    def _search_impl(self, key: TernaryWord) -> SegmentedSearchOutcome:
         if len(key) != self.geometry.cols:
             raise TCAMError(
                 f"key width {len(key)} does not match bank cols {self.geometry.cols}"
             )
-        out1 = self.stage1.search(key[: self.probe_cols])
+        with obs.span("bank.stage1", probe_cols=self.probe_cols):
+            out1 = self.stage1.search(key[: self.probe_cols])
         survivors = out1.match_mask
         n_survivors = int(np.count_nonzero(survivors))
 
@@ -133,7 +160,8 @@ class SegmentedBank:
                 stage2_skipped=True,
             )
 
-        out2 = self.stage2.search(key[self.probe_cols :], row_mask=survivors)
+        with obs.span("bank.stage2", survivors=n_survivors):
+            out2 = self.stage2.search(key[self.probe_cols :], row_mask=survivors)
         final = survivors & out2.match_mask
         first = _first_true(final)
         return SegmentedSearchOutcome(
@@ -255,7 +283,27 @@ class HierarchicalBank:
         return TernaryWord(parts)
 
     def search(self, key: TernaryWord) -> SegmentedSearchOutcome:
-        """N-stage search with exact selective-precharge accounting."""
+        """N-stage search with exact selective-precharge accounting.
+
+        Traced as a ``bank.search`` span with one ``bank.stage<i>``
+        child per evaluated stage.
+        """
+        with obs.span(
+            "bank.search",
+            rows=self.geometry.rows,
+            cols=self.geometry.cols,
+            n_stages=self.n_stages,
+        ) as sp:
+            outcome = self._search_impl(key)
+            if sp is not None:
+                sp.set_delay(outcome.search_delay)
+                sp.annotate(
+                    survivors_stage1=outcome.survivors_stage1,
+                    stage2_skipped=outcome.stage2_skipped,
+                )
+            return outcome
+
+    def _search_impl(self, key: TernaryWord) -> SegmentedSearchOutcome:
         if len(key) != self.geometry.cols:
             raise TCAMError(
                 f"key width {len(key)} does not match bank cols {self.geometry.cols}"
@@ -270,7 +318,8 @@ class HierarchicalBank:
             if self.early_terminate and not survivors.any():
                 skipped = True
                 break
-            out = stage.search(self._slice(key, stage_idx), row_mask=survivors)
+            with obs.span(f"bank.stage{stage_idx + 1}"):
+                out = stage.search(self._slice(key, stage_idx), row_mask=survivors)
             ledger.merge(out.energy)
             delay += out.search_delay
             cycle += out.cycle_time

@@ -22,9 +22,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..energy.accounting import EnergyComponent, EnergyLedger
 from ..errors import CapacityError, TCAMError
 from .array import SearchOutcome, TCAMArray
+from .outcome import BaseOutcome
 from .trit import TernaryWord
 
 
@@ -56,7 +58,7 @@ class GatingPolicy:
 
 
 @dataclass(frozen=True)
-class ChipSearchOutcome:
+class ChipSearchOutcome(BaseOutcome):
     """One chip search.
 
     Attributes:
@@ -72,6 +74,29 @@ class ChipSearchOutcome:
     outcome: SearchOutcome
     energy: EnergyLedger
     latency: float
+
+    @property
+    def match_mask(self):
+        """Per-row verdicts of the bank that served the search."""
+        return self.outcome.match_mask
+
+    @property
+    def first_match(self) -> int | None:
+        """Chip-global row index of the first match, or ``None``."""
+        return self.row
+
+    @property
+    def search_delay(self) -> float:
+        """Key-to-result latency including any wake-up [s]."""
+        return self.latency
+
+    @property
+    def cycle_time(self) -> float:
+        """Minimum time before the next operation [s]."""
+        return self.outcome.cycle_time
+
+    def _extra_dict(self) -> dict:
+        return {"bank": int(self.bank), "latency": self.latency}
 
 
 class TCAMChip:
@@ -162,29 +187,45 @@ class TCAMChip:
         """
         if not 0 <= bank < self.n_banks:
             raise TCAMError(f"bank {bank} outside [0, {self.n_banks})")
-        ledger = EnergyLedger()
-        extra_latency = self._wake(bank, ledger)
+        with obs.span("chip.search", bank=bank, n_banks=self.n_banks) as sp:
+            ledger = EnergyLedger()
+            extra_latency = self._wake(bank, ledger)
 
-        # Idle leakage of every powered bank over the idle window.
-        if idle_time > 0.0:
-            powered = int(np.count_nonzero(self._powered))
-            leak_power = self.banks[0].standby_power()
-            ledger.add(EnergyComponent.LEAKAGE, powered * leak_power * idle_time)
+            # Idle leakage of every powered bank over the idle window.
+            if idle_time > 0.0:
+                powered = int(np.count_nonzero(self._powered))
+                leak_power = self.banks[0].standby_power()
+                ledger.add(EnergyComponent.LEAKAGE, powered * leak_power * idle_time)
 
-        outcome = self.banks[bank].search(key)
-        ledger.merge(outcome.energy)
-        self._sleep_idle(bank)
+            if sp is not None:
+                # Wake + idle overhead is this span's own energy; the bank
+                # search nested below contributes the rest, so the tree's
+                # merged total reproduces the outcome ledger exactly.
+                sp.add_energy(ledger)
+                m = obs.metrics()
+                if m is not None:
+                    m.counter("chip.searches").inc()
+                    for component, joules in ledger:
+                        m.counter("energy." + component).inc(joules)
 
-        row = None
-        if outcome.first_match is not None:
-            row = bank * self.geometry.rows + outcome.first_match
-        return ChipSearchOutcome(
-            bank=bank,
-            row=row,
-            outcome=outcome,
-            energy=ledger,
-            latency=outcome.search_delay + extra_latency,
-        )
+            outcome = self.banks[bank].search(key)
+            ledger.merge(outcome.energy)
+            self._sleep_idle(bank)
+
+            row = None
+            if outcome.first_match is not None:
+                row = bank * self.geometry.rows + outcome.first_match
+            result = ChipSearchOutcome(
+                bank=bank,
+                row=row,
+                outcome=outcome,
+                energy=ledger,
+                latency=outcome.search_delay + extra_latency,
+            )
+            if sp is not None:
+                sp.set_delay(result.latency)
+                sp.annotate(row=result.row, wakeup=extra_latency > 0.0)
+            return result
 
     # ------------------------------------------------------------------
 

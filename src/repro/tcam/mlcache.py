@@ -21,9 +21,22 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Hashable
 
+from .. import obs
 from ..errors import TCAMError
 
 _MISS = object()
+
+
+def _bump(name: str) -> None:
+    """Mirror one cache event into the active metrics registry, if any.
+
+    Only cold-path events (invalidations) report per event; the hot
+    ``get``/``put`` counters are delta-synced into the registry by the
+    array at batch boundaries, keeping the per-lookup cost at zero.
+    """
+    m = obs.metrics()
+    if m is not None:
+        m.counter(name).inc()
 
 
 class TrajectoryCache:
@@ -81,6 +94,7 @@ class TrajectoryCache:
         """Flush every entry (called on any array write)."""
         self._entries.clear()
         self.invalidations += 1
+        _bump("mlcache.invalidations")
 
     @property
     def hit_rate(self) -> float:

@@ -220,7 +220,6 @@ class NANDTCAMArray:
         self._book_searchline_energy(ledger, key)
 
         physical = np.zeros(self.geometry.rows, dtype=bool)
-        t_match_cross = 0.0
         unique, counts = np.unique(miss, return_counts=True)
         for n_miss, n_rows in zip(unique, counts):
             result = self._string.evaluate(int(n_miss), self.v_sense, self.t_eval)
@@ -231,7 +230,6 @@ class NANDTCAMArray:
                     self.vdd**2 - result.v_end**2
                 )
                 ledger.add(EnergyComponent.ML_DISSIPATION, float(n_rows) * diss)
-                t_match_cross = min(result.t_discharge, self.t_eval)
         ledger.add(
             EnergyComponent.SENSE_AMP,
             self.geometry.rows * 1.0e-15 * self.vdd**2,  # per-row eval latch

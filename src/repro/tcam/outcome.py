@@ -1,0 +1,71 @@
+"""The common read surface of every search outcome.
+
+Four outcome types grew up independently -- :class:`~repro.tcam.array.
+SearchOutcome`, :class:`~repro.tcam.bank.SegmentedSearchOutcome`,
+:class:`~repro.tcam.chip.ChipSearchOutcome` and :class:`~repro.tcam.
+array.NearestMatchOutcome` -- with four incompatible shapes.  They all
+answer the same five questions, so :class:`BaseOutcome` names them once:
+
+* ``match_mask`` -- per-row verdicts (``None`` where not modeled),
+* ``first_match`` -- winning row index, or ``None``,
+* ``energy`` -- the operation's :class:`~repro.energy.accounting.
+  EnergyLedger`,
+* ``search_delay`` -- key-to-result latency [s],
+* ``cycle_time`` -- minimum time before the next operation [s].
+
+Subclasses keep their historical field names (no caller breaks); where a
+canonical name is not already a dataclass field they add a delegating
+property.  :meth:`BaseOutcome.to_dict` renders the canonical surface
+plus each type's extra fields as one JSON-ready dict -- the single
+serialization used by the trace exporter and the CLI ``--json`` mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+class BaseOutcome:
+    """Uniform accessor surface + serializer shared by all outcomes.
+
+    Deliberately field-free: concrete outcome dataclasses own their
+    storage, this base only reads it through the canonical names above.
+    """
+
+    @property
+    def energy_total(self) -> float:
+        """Total operation energy [J]."""
+        return self.energy.total
+
+    def _extra_dict(self) -> dict[str, Any]:
+        """Type-specific fields appended to :meth:`to_dict`."""
+        return {}
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict with one canonical shape for every outcome.
+
+        Canonical keys (always present): ``type``, ``match_mask``,
+        ``first_match``, ``energy`` (component map), ``energy_total``,
+        ``search_delay``, ``cycle_time``.  Type-specific extras follow.
+        """
+        mask = self.match_mask
+        out: dict[str, Any] = {
+            "type": type(self).__name__,
+            "match_mask": None if mask is None else [bool(m) for m in mask],
+            "first_match": None if self.first_match is None else int(self.first_match),
+            "energy": self.energy.as_dict(),
+            "energy_total": self.energy.total,
+            "search_delay": self.search_delay,
+            "cycle_time": self.cycle_time,
+        }
+        out.update(self._extra_dict())
+        return out
+
+
+def mask_to_list(mask: np.ndarray | None) -> list[bool] | None:
+    """Plain-bool list form of a verdict mask (``None`` passes through)."""
+    if mask is None:
+        return None
+    return [bool(m) for m in mask]

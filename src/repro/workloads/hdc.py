@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..errors import WorkloadError
 from ..tcam.array import TCAMArray
 from ..tcam.trit import TernaryWord, Trit
@@ -161,7 +162,12 @@ class HDCMemory:
         queries = [self._to_word(hv) for hv in hypervectors]
         if not self._labels:
             return [HDCQueryResult(label=None, distance=0, energy=0.0) for _ in queries]
-        outcomes = self.array.nearest_match_batch(queries)
+        with obs.span(
+            "workload.hdc.classify_batch",
+            n_queries=len(queries),
+            n_classes=len(self._labels),
+        ):
+            outcomes = self.array.nearest_match_batch(queries)
         return [
             HDCQueryResult(
                 label=self._labels[o.row] if o.row is not None else None,

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..errors import WorkloadError
 from ..tcam.array import TCAMArray
 from ..tcam.trit import TernaryWord, prefix_word, word_from_int
@@ -134,8 +135,13 @@ class RoutingTable:
         identical to calling :meth:`lookup_tcam` address by address but
         sharing the per-mismatch-class trajectory work across the trace.
         """
-        keys = [word_from_int(a, ADDRESS_BITS) for a in addresses]
-        outcomes = array.search_batch(keys)
+        with obs.span(
+            "workload.lpm.lookup_batch",
+            n_addresses=len(addresses),
+            n_routes=len(self.routes),
+        ):
+            keys = [word_from_int(a, ADDRESS_BITS) for a in addresses]
+            outcomes = array.search_batch(keys)
         return [(self._route_of(outcome), outcome) for outcome in outcomes]
 
     def _route_of(self, outcome) -> Route | None:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..errors import WorkloadError
 from ..tcam.array import TCAMArray
 from ..tcam.trit import TernaryWord, Trit, word_from_int
@@ -202,7 +203,12 @@ class RuleSet:
         identical to calling :meth:`classify_tcam` packet by packet but
         sharing the per-mismatch-class trajectory work across the burst.
         """
-        outcomes = array.search_batch([p.to_key() for p in packets])
+        with obs.span(
+            "workload.acl.classify_batch",
+            n_packets=len(packets),
+            n_tcam_rows=self.n_tcam_rows,
+        ):
+            outcomes = array.search_batch([p.to_key() for p in packets])
         return [(self._rule_of(outcome), outcome) for outcome in outcomes]
 
     def _rule_of(self, outcome) -> int | None:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..errors import WorkloadError
 from ..tcam.array import TCAMArray
 from ..tcam.trit import TernaryWord, Trit
@@ -194,11 +195,16 @@ class SignatureSet:
         """
         if not payload:
             return [], 0.0
-        keys = [
-            window_key(payload, position, self.window_bytes)
-            for position in range(len(payload))
-        ]
-        outcomes = array.search_batch(keys)
+        with obs.span(
+            "workload.dpi.scan",
+            payload_bytes=len(payload),
+            n_signatures=len(self.signatures),
+        ):
+            keys = [
+                window_key(payload, position, self.window_bytes)
+                for position in range(len(payload))
+            ]
+            outcomes = array.search_batch(keys)
         hits = []
         energy = 0.0
         for position, outcome in enumerate(outcomes):

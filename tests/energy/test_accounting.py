@@ -98,6 +98,43 @@ class TestLedgerAlgebra:
         assert a.total == pytest.approx(1.0)
 
 
+class TestLedgerReadSurface:
+    """The stable read API the observability layer and CLI consume."""
+
+    def test_components_in_insertion_order(self):
+        led = EnergyLedger()
+        led.add("b", 1.0)
+        led.add("a", 2.0)
+        assert led.components() == ("b", "a")
+
+    def test_as_dict_is_a_copy(self):
+        led = EnergyLedger({"x": 1.0})
+        d = led.as_dict()
+        d["x"] = 99.0
+        assert led.get("x") == 1.0
+
+    def test_iter_yields_pairs(self):
+        led = EnergyLedger({"a": 1.0, "b": 2.0})
+        assert list(led) == [("a", 1.0), ("b", 2.0)]
+
+    def test_len_counts_components(self):
+        assert len(EnergyLedger()) == 0
+        assert len(EnergyLedger({"a": 1.0, "b": 2.0})) == 2
+
+    def test_fraction_of_component(self):
+        led = EnergyLedger({"a": 1.0, "b": 3.0})
+        assert led.fraction("b") == pytest.approx(0.75)
+        assert led.fraction(EnergyComponent.SEARCHLINE) == 0.0
+
+    def test_fraction_empty_ledger_zero(self):
+        assert EnergyLedger().fraction("a") == 0.0
+
+    def test_enum_keys_iterate_as_strings(self):
+        led = EnergyLedger()
+        led.add(EnergyComponent.SEARCHLINE, 1.0)
+        assert led.components() == (EnergyComponent.SEARCHLINE.value,)
+
+
 class TestPowerFormulas:
     def test_switching_full_swing(self):
         assert switching_energy(1e-15, 0.9) == pytest.approx(0.81e-15)

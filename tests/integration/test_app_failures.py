@@ -10,7 +10,6 @@ failure propagation end-to-end.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.circuits.senseamp import VoltageSenseAmp
 from repro.core import build_array, get_design

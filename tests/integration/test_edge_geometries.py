@@ -8,9 +8,8 @@ workloads never touch.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.core import all_designs, build_array
+from repro.core import build_array
 from repro.tcam import ArrayGeometry, TernaryWord, Trit, random_word, word_from_string
 
 

@@ -3,9 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.circuits.precharge import ClampedPrecharge
 from repro.circuits.senseamp import VoltageSenseAmp
 from repro.core import build_array, get_design
 from repro.tcam import ArrayGeometry, TCAMArray, random_word

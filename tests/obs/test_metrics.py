@@ -1,0 +1,81 @@
+"""Tests for the metrics registry and its instruments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative_and_nan(self):
+        with pytest.raises(ReproError):
+            Counter("c").inc(-1.0)
+        with pytest.raises(ReproError):
+            Counter("c").inc(float("nan"))
+
+    def test_counter_accepts_zero(self):
+        c = Counter("c")
+        c.inc(0.0)
+        assert c.value == 0.0
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("g")
+        g.set(1.0)
+        g.set(7.0)
+        assert g.value == 7.0
+
+    def test_histogram_summary(self):
+        h = Histogram("h")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert (h.count, h.total, h.min, h.max) == (3, 6.0, 1.0, 3.0)
+        assert h.mean == 2.0
+
+    def test_histogram_empty_mean_zero(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_create_on_first_use(self):
+        reg = MetricsRegistry()
+        assert "x" not in reg
+        reg.counter("x").inc()
+        assert "x" in reg
+        assert len(reg) == 1
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ReproError):
+            reg.gauge("x")
+
+    def test_snapshot_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc(2)
+        reg.gauge("a.level").set(0.5)
+        reg.histogram("c.sizes").observe(4.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.level", "b.count", "c.sizes"]
+        assert snap["a.level"] == 0.5
+        assert snap["b.count"] == 2.0
+        assert snap["c.sizes"] == {
+            "count": 1, "sum": 4.0, "min": 4.0, "max": 4.0, "mean": 4.0,
+        }
+
+    def test_snapshot_empty_histogram_none_bounds(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        snap = reg.snapshot()
+        assert snap["h"]["min"] is None and snap["h"]["max"] is None

@@ -1,0 +1,82 @@
+"""Tests for the trace/metrics exporters."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.energy.accounting import EnergyLedger
+from repro.obs.sinks import JsonLinesSink, NullSink, StdoutSummarySink, span_records
+from repro.obs.span import Span
+
+
+def _tree() -> Span:
+    root = Span("chip.search")
+    root.add_energy(EnergyLedger({"clock": 1.0}))
+    child = root.child("array.search")
+    child.add_energy(EnergyLedger({"sl": 2.0}))
+    child.child("array.ml")
+    return root
+
+
+class TestSpanRecords:
+    def test_flattens_with_parent_links(self):
+        records = span_records([_tree()])
+        assert [r["name"] for r in records] == [
+            "chip.search", "array.search", "array.ml",
+        ]
+        assert [r["span_id"] for r in records] == [0, 1, 2]
+        assert [r["parent_id"] for r in records] == [None, 0, 1]
+        assert [r["depth"] for r in records] == [0, 1, 2]
+        assert all("children" not in r for r in records)
+
+    def test_multiple_roots_share_id_space(self):
+        records = span_records([Span("a"), Span("b")])
+        assert [(r["span_id"], r["parent_id"]) for r in records] == [(0, None), (1, None)]
+
+
+class TestJsonLinesSink:
+    def test_requires_exactly_one_target(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonLinesSink()
+        with pytest.raises(ValueError):
+            JsonLinesSink(stream=io.StringIO(), path=str(tmp_path / "t.jsonl"))
+
+    def test_stream_lines_parse(self):
+        buf = io.StringIO()
+        JsonLinesSink(stream=buf).export([_tree()], {"tcam.searches": 3.0})
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [rec["kind"] for rec in lines] == ["span", "span", "span", "metrics"]
+        assert lines[0]["energy"] == {"clock": 1.0}
+        assert lines[-1]["metrics"] == {"tcam.searches": 3.0}
+
+    def test_path_written(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        JsonLinesSink(path=str(out)).export([_tree()], {})
+        kinds = [json.loads(line)["kind"] for line in out.read_text().splitlines()]
+        assert kinds == ["span", "span", "span", "metrics"]
+
+
+class TestStdoutSummarySink:
+    def test_prints_tree_and_metrics_tables(self, capsys):
+        StdoutSummarySink().export(
+            [_tree()],
+            {"tcam.searches": 3.0,
+             "tcam.batch_size": {"count": 1, "sum": 4.0, "min": 4.0, "max": 4.0, "mean": 4.0}},
+        )
+        out = capsys.readouterr().out
+        assert "Trace spans" in out
+        assert "  array.search" in out  # indented by depth
+        assert "Metrics" in out
+        assert "tcam.searches" in out
+
+    def test_no_metrics_table_when_empty(self, capsys):
+        StdoutSummarySink().export([_tree()], {})
+        assert "Metrics" not in capsys.readouterr().out
+
+
+class TestNullSink:
+    def test_discards(self):
+        NullSink().export([_tree()], {"x": 1.0})  # must not raise

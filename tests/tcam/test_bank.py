@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import get_design
 from repro.energy import EnergyComponent
 from repro.errors import TCAMError
 from repro.tcam import ArrayGeometry, SegmentedBank, random_word, word_from_string

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import build_array, get_design
 from repro.errors import TCAMError
-from repro.tcam import ArrayGeometry, random_word, word_from_string
+from repro.tcam import ArrayGeometry, word_from_string
 
 
 def _array(rows=4, cols=8):

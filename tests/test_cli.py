@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -35,7 +37,10 @@ class TestCompare:
     def test_error_column_zero(self, capsys):
         main(["compare", "--rows", "8", "--cols", "16", "--searches", "2"])
         out = capsys.readouterr().out
-        data_lines = [l for l in out.splitlines() if l.startswith(("cmos", "reram", "fefet"))]
+        data_lines = [
+            line for line in out.splitlines()
+            if line.startswith(("cmos", "reram", "fefet"))
+        ]
         assert data_lines
         assert all(line.rstrip().endswith("0") for line in data_lines)
 
@@ -82,6 +87,84 @@ class TestRetention:
         assert main(["retention", "--celsius", "25", "--years", "10"]) == 0
         out = capsys.readouterr().out
         assert "time to 10% loss" in out
+
+
+class TestJsonMode:
+    def test_designs_json(self, capsys):
+        assert main(["designs", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "designs"
+        assert {d["key"] for d in payload["designs"]} >= {"cmos16t", "fefet2t"}
+
+    def test_compare_json_with_design_filter(self, capsys):
+        assert main(["compare", "--design", "fefet2t", "--rows", "8",
+                     "--cols", "16", "--searches", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [d["design"] for d in payload["designs"]] == ["fefet2t"]
+        entry = payload["designs"][0]
+        assert entry["energy_per_search"] > 0.0
+        assert isinstance(entry["energy"], dict)  # ledger as_dict()
+
+    def test_lpm_json_carries_outcome_dict(self, capsys):
+        assert main(["lpm", "--routes", "10", "--lookups", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["oracle_agreement"] == 5
+        outcome = payload["last_outcome"]
+        assert outcome["type"] == "SearchOutcome"
+        for key in ("match_mask", "first_match", "energy", "energy_total",
+                    "search_delay", "cycle_time"):
+            assert key in outcome
+
+    def test_lpm_rows_flag(self, capsys):
+        assert main(["lpm", "--routes", "10", "--lookups", "5",
+                     "--rows", "64", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["rows"] == 64
+
+    def test_mc_json(self, capsys):
+        assert main(["mc", "--design", "fefet2t", "--samples", "20",
+                     "--rows", "4", "--cols", "16", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["samples"] == 20
+        assert "margin_mean" in payload
+
+    def test_retention_json(self, capsys):
+        assert main(["retention", "--celsius", "85", "--years", "10", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0.0 < payload["retention_fraction"] <= 1.0
+
+
+class TestTrace:
+    def test_trace_prints_span_and_metrics_tables(self, capsys):
+        assert main(["trace", "compare", "--rows", "8", "--cols", "16",
+                     "--searches", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Design comparison" in out  # the wrapped command still runs
+        assert "Trace spans" in out
+        assert "array.search" in out
+        assert "tcam.searches" in out
+
+    def test_trace_writes_jsonl(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["trace", "lpm", "--routes", "10", "--lookups", "5",
+                     "--trace-out", str(trace_path)]) == 0
+        records = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        kinds = {r["kind"] for r in records}
+        assert kinds == {"span", "metrics"}
+        span_names = {r["name"] for r in records if r["kind"] == "span"}
+        assert "workload.lpm.lookup_batch" in span_names
+        assert "array.search_batch" in span_names
+        metrics = [r for r in records if r["kind"] == "metrics"][0]["metrics"]
+        assert metrics["tcam.searches"] >= 5.0
+
+    def test_trace_rejects_itself(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "trace"])
+
+    def test_observability_off_after_trace(self, capsys):
+        from repro import obs
+
+        main(["trace", "designs"])
+        assert not obs.is_enabled()
 
 
 class TestDisturb:

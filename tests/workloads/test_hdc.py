@@ -109,7 +109,6 @@ class TestMemory:
         assert mem.classify(np.zeros(DIMS, dtype=np.int8)).label is None
 
     def test_capacity_enforced(self, rng):
-        enc = _encoder()
         mem = _memory()
         for label in range(8):
             mem.train_class(label, np.zeros((2, DIMS), dtype=np.int8))

@@ -6,11 +6,9 @@ import numpy as np
 import pytest
 
 from repro.core import build_array, get_design
-from repro.energy import EnergyComponent
 from repro.errors import WorkloadError
 from repro.tcam import ArrayGeometry
 from repro.workloads.signatures import (
-    ScanHit,
     Signature,
     SignatureSet,
     plant_signatures,
