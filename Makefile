@@ -2,16 +2,19 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench bench-parallel report examples clean
 
 install:
-	$(PYTHON) setup.py develop
+	$(PYTHON) -m pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-parallel:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel.py --check
 
 report: bench
 	$(PYTHON) -m repro report --output-dir benchmarks/output --out REPORT.md

@@ -2,7 +2,12 @@
 
 from .margin import MarginAnalysis, worst_case_margin
 from .montecarlo import MonteCarloResult, run_margin_mc
-from .montecarlo_array import ArrayMCResult, SampledFeFETArray, critical_keys
+from .montecarlo_array import (
+    ArrayMCResult,
+    SampledFeFETArray,
+    critical_keys,
+    run_array_mc,
+)
 from .yieldest import failure_rate_vs_sigma, search_failure_probability
 from .sweep import Sweep, SweepResult
 from .disturb import V_HALF, V_THIRD, DisturbAnalysis, DisturbPoint, WriteScheme
@@ -24,6 +29,7 @@ __all__ = [
     "SampledFeFETArray",
     "ArrayMCResult",
     "critical_keys",
+    "run_array_mc",
     "search_failure_probability",
     "failure_rate_vs_sigma",
     "Sweep",

@@ -23,9 +23,16 @@ import numpy as np
 
 from ..devices.variability import VariationSpec
 from ..errors import AnalysisError
+from ..parallel import chunk_bounds, scatter_gather, spawn_seeds
 from ..tcam.array import TCAMArray
 from ..units import thermal_voltage
 from .margin import MarginAnalysis, worst_case_margin
+
+#: Samples per Monte-Carlo chunk.  Fixed (never derived from the worker
+#: count) so the chunk partition -- and the per-chunk seed children
+#: spawned from the root seed -- are identical for serial and any-N
+#: parallel runs, which is what makes the sampled margins bit-identical.
+MC_CHUNK_SAMPLES = 256
 
 
 @dataclass(frozen=True)
@@ -83,42 +90,23 @@ def _leak_scale_factor(
     return float(np.mean(factors))
 
 
-def run_margin_mc(
-    array: TCAMArray,
-    spec: VariationSpec,
-    n_samples: int = 1000,
-    seed: int = 2021,
-    n_slope: float = 1.35,
-    temperature_k: float = 300.0,
-) -> MonteCarloResult:
-    """Sample the match / 1-mismatch margin of a precharge-style array.
+def _sample_chunk(
+    payload: tuple[TCAMArray, VariationSpec, np.random.SeedSequence, int, float, float],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw and evaluate one chunk of margin samples (pure worker fn).
 
-    Args:
-        array: The array configuration under test (cell, c_ml, t_eval,
-            precharge target and sense reference are read from it).
-        spec: Variation corner to sample.
-        n_samples: Monte-Carlo sample count.
-        seed: RNG seed.
-        n_slope: Subthreshold slope factor used for the leakage statistics.
-        temperature_k: Temperature for the leakage statistics [K].
-
-    Raises:
-        AnalysisError: for current-race arrays (different failure model)
-            or invalid sample counts.
+    The chunk's random stream comes entirely from its own seed child, so
+    the samples are independent of which process runs the chunk.
     """
-    if array.sensing != "precharge":
-        raise AnalysisError("margin MC applies to precharge-style sensing")
-    if n_samples < 1:
-        raise AnalysisError(f"n_samples must be >= 1, got {n_samples}")
-
-    rng = np.random.default_rng(seed)
+    array, spec, seed_seq, count, n_slope, temperature_k = payload
+    rng = np.random.default_rng(seed_seq)
     cols = array.geometry.cols
     v_pre = array.precharge.target_voltage()
     v_ref = array.sense_amp.v_ref
 
-    margins = np.empty(n_samples)
-    failures = np.zeros(n_samples, dtype=bool)
-    for k in range(n_samples):
+    margins = np.empty(count)
+    failures = np.zeros(count, dtype=bool)
+    for k in range(count):
         # Positive offset on the critical pull-down weakens it (bad);
         # the draw is two-sided, matching physical mismatch.
         dvt_pd = float(rng.normal(0.0, spec.sigma_vt_fefet)) if spec.sigma_vt_fefet else 0.0
@@ -138,6 +126,54 @@ def run_margin_mc(
         )
         margins[k] = corner.margin
         failures[k] = not corner.functional
+    return margins, failures
+
+
+def run_margin_mc(
+    array: TCAMArray,
+    spec: VariationSpec,
+    n_samples: int = 1000,
+    seed: int = 2021,
+    n_slope: float = 1.35,
+    temperature_k: float = 300.0,
+    workers: int = 0,
+) -> MonteCarloResult:
+    """Sample the match / 1-mismatch margin of a precharge-style array.
+
+    Samples are drawn in fixed-size chunks (:data:`MC_CHUNK_SAMPLES`),
+    each from its own ``SeedSequence`` child of ``seed``, so the result
+    is bit-identical for any ``workers`` value.
+
+    Args:
+        array: The array configuration under test (cell, c_ml, t_eval,
+            precharge target and sense reference are read from it).
+        spec: Variation corner to sample.
+        n_samples: Monte-Carlo sample count.
+        seed: RNG seed.
+        n_slope: Subthreshold slope factor used for the leakage statistics.
+        temperature_k: Temperature for the leakage statistics [K].
+        workers: Process count for chunk fan-out; ``<= 1`` runs serially.
+
+    Raises:
+        AnalysisError: for current-race arrays (different failure model)
+            or invalid sample counts.
+    """
+    if array.sensing != "precharge":
+        raise AnalysisError("margin MC applies to precharge-style sensing")
+    if n_samples < 1:
+        raise AnalysisError(f"n_samples must be >= 1, got {n_samples}")
+
+    bounds = chunk_bounds(n_samples, MC_CHUNK_SAMPLES)
+    seeds = spawn_seeds(seed, len(bounds))
+    payloads = [
+        (array, spec, seeds[i], hi - lo, n_slope, temperature_k)
+        for i, (lo, hi) in enumerate(bounds)
+    ]
+    chunks = scatter_gather(
+        _sample_chunk, payloads, workers=workers, span_prefix="mc.margin"
+    )
+    margins = np.concatenate([c[0] for c in chunks])
+    failures = np.concatenate([c[1] for c in chunks])
 
     return MonteCarloResult(
         margins=margins,

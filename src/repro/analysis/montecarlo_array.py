@@ -27,6 +27,7 @@ from ..circuits.rc import discharge_waveform, discharge_waveform_batch
 from ..devices.mosfet import ekv_current_vec
 from ..devices.variability import VariationSpec
 from ..errors import AnalysisError
+from ..parallel import scatter_gather, spawn_seeds
 from ..tcam.array import ArrayGeometry
 from ..tcam.cells.fefet2t import FeFET2TCell
 from ..tcam.trit import TernaryWord, Trit, mismatch_counts
@@ -352,3 +353,71 @@ class SampledFeFETArray:
             wrong_searches=wrong_searches,
             errors_by_distance=dict(sorted(by_distance.items())),
         )
+
+
+def _instance_campaign(
+    payload: tuple[
+        ArrayGeometry,
+        VariationSpec,
+        np.random.SeedSequence,
+        list[TernaryWord],
+        list[TernaryWord],
+        float,
+    ],
+) -> ArrayMCResult:
+    """Build, load and exercise one sampled array instance (pure worker fn)."""
+    geometry, spec, seed_seq, words, keys, vdd = payload
+    array = SampledFeFETArray(geometry, spec, np.random.default_rng(seed_seq), vdd=vdd)
+    array.load(words)
+    return array.run_campaign(keys)
+
+
+def run_array_mc(
+    geometry: ArrayGeometry,
+    spec: VariationSpec,
+    words: list[TernaryWord],
+    keys: list[TernaryWord],
+    n_instances: int = 8,
+    seed: int = 2021,
+    vdd: float = 0.9,
+    workers: int = 0,
+) -> ArrayMCResult:
+    """Measure error rates over many independently sampled array instances.
+
+    Each instance draws its own per-cell threshold offsets from its own
+    ``SeedSequence`` child of ``seed`` and runs the full key campaign, so
+    instances are independent trials and the aggregate is bit-identical
+    for any ``workers`` value.
+
+    Args:
+        geometry: Array shape shared by every instance.
+        spec: Variation corner to sample.
+        words: Stored content (same for every instance).
+        keys: Search campaign (same for every instance); see
+            :func:`critical_keys`.
+        n_instances: Independent sampled-array trials.
+        seed: Root RNG seed for the per-instance draws.
+        vdd: Supply / precharge voltage [V].
+        workers: Process count for instance fan-out; ``<= 1`` runs serially.
+
+    Raises:
+        AnalysisError: for a non-positive instance count.
+    """
+    if n_instances < 1:
+        raise AnalysisError(f"n_instances must be >= 1, got {n_instances}")
+    seeds = spawn_seeds(seed, n_instances)
+    payloads = [(geometry, spec, s, words, keys, vdd) for s in seeds]
+    results = scatter_gather(
+        _instance_campaign, payloads, workers=workers, span_prefix="mc.array"
+    )
+    by_distance: dict[int, int] = {}
+    for r in results:
+        for d, n in r.errors_by_distance.items():
+            by_distance[d] = by_distance.get(d, 0) + n
+    return ArrayMCResult(
+        n_searches=sum(r.n_searches for r in results),
+        n_row_decisions=sum(r.n_row_decisions for r in results),
+        wrong_rows=sum(r.wrong_rows for r in results),
+        wrong_searches=sum(r.wrong_searches for r in results),
+        errors_by_distance=dict(sorted(by_distance.items())),
+    )

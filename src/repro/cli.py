@@ -102,8 +102,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         delay = 0.0
         cycle = 0.0
         errors = 0
-        for key in keys:
-            out = array.search(key)
+        if hasattr(array, "search_batch"):
+            outcomes = array.search_batch(keys, workers=args.workers)
+        else:  # NAND-string arrays have no batched engine
+            outcomes = [array.search(key) for key in keys]
+        for out in outcomes:
             ledger.merge(out.energy)
             delay = max(delay, out.search_delay)
             cycle = max(cycle, out.cycle_time)
@@ -176,7 +179,9 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     spec = get_design(args.design)
     array = build_array(spec, ArrayGeometry(args.rows, args.cols))
     variation = NOMINAL_VARIATION.scaled(args.sigma_scale)
-    mc = run_margin_mc(array, variation, n_samples=args.samples, seed=args.seed)
+    mc = run_margin_mc(
+        array, variation, n_samples=args.samples, seed=args.seed, workers=args.workers
+    )
     if args.json:
         _emit_json(
             {
@@ -213,7 +218,7 @@ def _cmd_lpm(args: argparse.Namespace) -> int:
     ledger = EnergyLedger()
     last_outcome = None
     for address, (route, outcome) in zip(
-        addresses, table.lookup_tcam_batch(array, addresses)
+        addresses, table.lookup_tcam_batch(array, addresses, workers=args.workers)
     ):
         oracle = table.lookup_reference(address)
         ledger.merge(outcome.energy)
@@ -419,6 +424,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--searches", type=int, default=8)
     compare.add_argument("--x-fraction", type=float, default=0.3)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process count for the batched searches (default: serial)",
+    )
     compare.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     compare.set_defaults(func=_cmd_compare)
 
@@ -437,6 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--rows", type=int, default=16)
     mc.add_argument("--cols", type=int, default=64)
     mc.add_argument("--seed", type=int, default=0)
+    mc.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process count for the sample chunks (default: serial)",
+    )
     mc.add_argument("--json", action="store_true", help="emit JSON instead of text")
     mc.set_defaults(func=_cmd_mc)
 
@@ -451,6 +468,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="array rows (default: routes rounded up to a power of two)",
     )
     lpm.add_argument("--seed", type=int, default=0)
+    lpm.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process count for the batched lookups (default: serial)",
+    )
     lpm.add_argument("--json", action="store_true", help="emit JSON instead of text")
     lpm.set_defaults(func=_cmd_lpm)
 

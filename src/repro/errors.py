@@ -38,3 +38,7 @@ class AnalysisError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received invalid parameters or input data."""
+
+
+class ParallelError(ReproError):
+    """The process-parallel execution layer was misconfigured."""

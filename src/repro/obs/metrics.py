@@ -81,6 +81,15 @@ class Histogram:
         """Sample mean (0.0 with no samples)."""
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's summary into this one."""
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
 
 class MetricsRegistry:
     """Create-on-first-use namespace of instruments.
@@ -117,6 +126,28 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name`` (created on first use)."""
         return self._get(name, Histogram)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one, instrument by instrument.
+
+        Used by the parallel execution layer to merge worker-side
+        registries back into the parent's: counters and histogram
+        summaries add, gauges keep the merged-in (most recent) value.
+        Instruments are visited in the other registry's insertion order,
+        so merging chunk registries in chunk order reproduces the
+        instrument creation order a serial run would have produced.
+
+        Raises:
+            ReproError: when a name is bound to different instrument
+                kinds in the two registries.
+        """
+        for name, instrument in other._instruments.items():
+            if isinstance(instrument, Counter):
+                self.counter(name).inc(instrument.value)
+            elif isinstance(instrument, Gauge):
+                self.gauge(name).set(instrument.value)
+            else:
+                self.histogram(name).merge(instrument)
 
     def __len__(self) -> int:
         return len(self._instruments)

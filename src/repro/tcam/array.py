@@ -35,6 +35,7 @@ from ..circuits.senseamp import CurrentRaceSenseAmp, VoltageSenseAmp
 from ..circuits.wire import M2_WIRE, M4_WIRE, WireModel
 from ..energy.accounting import EnergyComponent, EnergyLedger
 from ..errors import TCAMError
+from ..parallel import chunk_bounds, default_chunk_size, resolve_workers, scatter_gather
 from .area import TECH_45NM, TechNode, cell_dimensions
 from .cell import CellDescriptor
 from .mlcache import TrajectoryCache
@@ -64,6 +65,45 @@ _SPAN_ENERGY_GROUPS = {
     EnergyComponent.PRIORITY_ENCODER.value: "array.encode",
     EnergyComponent.LEAKAGE.value: "array.standby",
 }
+
+
+def _integrate_class_chunk(
+    payload: tuple["TCAMArray", list[tuple[int, int]]],
+) -> list["_PrechargeClassResult | _RaceClassResult"]:
+    """Integrate one chunk of mismatch classes (pure worker fn).
+
+    The worker operates on a pickled copy of the array and returns the
+    sensing results; the parent installs them into the *real* trajectory
+    cache in the order :meth:`TCAMArray._fill_class_cache` would have.
+    """
+    array, pairs = payload
+    if array.sensing == "precharge":
+        v_ends = array._ml_voltages_after_eval(pairs)
+        return [array._precharge_class_from_v_end(v) for v in v_ends]
+    return [array._race_class(n_miss, driven) for n_miss, driven in pairs]
+
+
+def _assemble_chunk(
+    payload: tuple["TCAMArray", np.ndarray, float, list[tuple]],
+) -> list["SearchOutcome"]:
+    """Assemble one chunk of batch outcomes (pure worker fn).
+
+    Each item carries everything :meth:`TCAMArray._assemble_outcome`
+    needs, including the pre-fetched class results, so the worker never
+    touches a trajectory cache and re-running it (serial fallback) has
+    no side effects.
+    """
+    array, active, e_toggle, items = payload
+    outcomes = []
+    for n_toggles, miss, unique, counts_active, counts_valid, class_results in items:
+        ledger = EnergyLedger()
+        ledger.add(EnergyComponent.SEARCHLINE, n_toggles * e_toggle)
+        outcomes.append(
+            array._assemble_outcome(
+                ledger, miss, active, unique, counts_active, counts_valid, class_results
+            )
+        )
+    return outcomes
 
 
 @dataclass(frozen=True)
@@ -499,6 +539,7 @@ class TCAMArray:
         self,
         keys: Iterable[TernaryWord],
         row_mask: np.ndarray | None = None,
+        workers: int = 0,
     ) -> list[SearchOutcome]:
         """Execute many searches with shared per-class trajectory work.
 
@@ -512,10 +553,19 @@ class TCAMArray:
         bounded LRU trajectory cache, so consecutive batches over an
         unwritten array reuse them outright.
 
+        With ``workers > 1`` the class integrations and the per-key
+        outcome assembly fan out across processes; outcomes, the
+        trajectory cache's state and its hit counters stay bit-identical
+        to the serial path because the parent performs every cache access
+        itself, in serial order, and ships only pure computations to the
+        workers.
+
         Args:
             keys: Search keys, all of the array's width.
             row_mask: Optional per-row evaluation mask applied to every
                 key in the batch (as in :meth:`search`).
+            workers: Process count for the fan-out; ``<= 1`` (the
+                default) keeps the fully serial path.
         """
         keys = list(keys)
         if not keys:
@@ -529,7 +579,7 @@ class TCAMArray:
         ) as sp:
             m = obs.metrics()
             cache_before = self._cache_counters() if m is not None else None
-            outcomes = self._search_batch_impl(keys, row_mask)
+            outcomes = self._search_batch_impl(keys, row_mask, workers=workers)
             if sp is not None:
                 ledger = EnergyLedger.sum(o.energy for o in outcomes)
                 sp.add_energy(ledger)
@@ -542,6 +592,7 @@ class TCAMArray:
         self,
         keys: list[TernaryWord],
         row_mask: np.ndarray | None = None,
+        workers: int = 0,
     ) -> list[SearchOutcome]:
         packed = pack_keys(keys)
         if packed.shape[1] != self.geometry.cols:
@@ -584,6 +635,12 @@ class TCAMArray:
                                 needed.append(pair)
             if sp is not None:
                 sp.annotate(distinct_classes=len(seen), to_integrate=len(needed))
+
+        if resolve_workers(workers) > 1:
+            return self._finish_batch_parallel(
+                per_key, needed, miss_all, driven_all, toggles, e_toggle, active, workers
+            )
+
         self._fill_class_cache(needed)
 
         outcomes: list[SearchOutcome] = []
@@ -608,6 +665,65 @@ class TCAMArray:
                 )
             )
         return outcomes
+
+    def _finish_batch_parallel(
+        self,
+        per_key: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+        needed: list[tuple[int, int]],
+        miss_all: np.ndarray,
+        driven_all: np.ndarray,
+        toggles: np.ndarray,
+        e_toggle: float,
+        active: np.ndarray,
+        workers: int,
+    ) -> list[SearchOutcome]:
+        """Parallel tail of :meth:`_search_batch_impl`.
+
+        The real trajectory cache stays parent-owned: missing classes are
+        integrated by pure workers (chunk bounds depend only on the class
+        count) and installed here in :meth:`_fill_class_cache` order, and
+        the per-key class fetches below run in serial key order -- so the
+        cache's LRU state and hit/miss counters match a serial run
+        exactly.  Only side-effect-free work crosses the process boundary.
+        """
+        if needed:
+            bounds = chunk_bounds(len(needed), default_chunk_size(len(needed)))
+            results = scatter_gather(
+                _integrate_class_chunk,
+                [(self, needed[lo:hi]) for lo, hi in bounds],
+                workers=workers,
+                span_prefix="array.integrate",
+            )
+            for (lo, hi), chunk in zip(bounds, results):
+                for pair, result in zip(needed[lo:hi], chunk):
+                    self._ml_cache.put(self._class_cache_key(pair), result)
+
+        items = []
+        for k, (unique, counts_active, counts_valid) in enumerate(per_key):
+            driven = int(driven_all[k])
+            class_results = {
+                int(n): self._cached_class(int(n), driven)
+                for n, c in zip(unique, counts_active)
+                if c
+            }
+            items.append(
+                (
+                    int(toggles[k]),
+                    miss_all[k],
+                    unique,
+                    counts_active,
+                    counts_valid,
+                    class_results,
+                )
+            )
+        bounds = chunk_bounds(len(items), default_chunk_size(len(items)))
+        chunks = scatter_gather(
+            _assemble_chunk,
+            [(self, active, e_toggle, items[lo:hi]) for lo, hi in bounds],
+            workers=workers,
+            span_prefix="array.assemble",
+        )
+        return [outcome for chunk in chunks for outcome in chunk]
 
     # -- observability booking -------------------------------------------------
 

@@ -174,6 +174,14 @@ class SegmentedBank:
             stage2_skipped=False,
         )
 
+    def search_batch(self, keys: list[TernaryWord]) -> list[SegmentedSearchOutcome]:
+        """Per-key loop: the stages share no cross-key work to batch.
+
+        Exists so chip-level bank sharding can treat segmented and flat
+        banks uniformly.
+        """
+        return [self.search(key) for key in keys]
+
     def reference_outcome(self, key: TernaryWord) -> SearchOutcome:
         """Search an equivalent *flat* array for the A/B comparison.
 
@@ -302,6 +310,10 @@ class HierarchicalBank:
                     stage2_skipped=outcome.stage2_skipped,
                 )
             return outcome
+
+    def search_batch(self, keys: list[TernaryWord]) -> list[SegmentedSearchOutcome]:
+        """Per-key loop: the stages share no cross-key work to batch."""
+        return [self.search(key) for key in keys]
 
     def _search_impl(self, key: TernaryWord) -> SegmentedSearchOutcome:
         if len(key) != self.geometry.cols:

@@ -18,6 +18,7 @@ non-volatile standby story dominates total energy.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,9 +26,28 @@ import numpy as np
 from .. import obs
 from ..energy.accounting import EnergyComponent, EnergyLedger
 from ..errors import CapacityError, TCAMError
+from ..parallel import scatter_gather
 from .array import SearchOutcome, TCAMArray
 from .outcome import BaseOutcome
 from .trit import TernaryWord
+
+
+def _search_bank_chunk(payload: tuple[int, "TCAMArray", list[TernaryWord]]):
+    """Search one bank's key subsequence (worker fn).
+
+    Runs against a pickled copy of the bank in a worker process (the
+    parent swaps the returned, mutated copy back in) or against the real
+    bank under the in-process serial fallback -- either way the bank
+    object that ends up in ``chip.banks`` saw exactly this key sequence
+    once, so its search-line drive state and trajectory cache advance as
+    a serial run's would.
+    """
+    bank_idx, bank, keys = payload
+    if hasattr(bank, "search_batch"):
+        outcomes = bank.search_batch(keys)
+    else:
+        outcomes = [bank.search(key) for key in keys]
+    return bank_idx, bank, outcomes
 
 
 @dataclass(frozen=True)
@@ -226,6 +246,113 @@ class TCAMChip:
                 sp.set_delay(result.latency)
                 sp.annotate(row=result.row, wakeup=extra_latency > 0.0)
             return result
+
+    def search_batch(
+        self,
+        keys: Iterable[TernaryWord],
+        banks: int | Sequence[int],
+        idle_time: float = 0.0,
+        workers: int = 0,
+    ) -> list[ChipSearchOutcome]:
+        """Search many keys, sharding the work across banks.
+
+        Produces the :class:`ChipSearchOutcome` sequence a serial loop of
+        :meth:`search` calls would (same ledgers, rows and latencies; the
+        wake / idle-leak / gating state machine is stepped through the
+        keys in order before any bank is searched).  Keys routed to the
+        same bank stay in their original relative order, so each bank's
+        search-line toggle chain and trajectory cache evolve exactly as
+        in the serial loop -- which is what makes bank-sharding safe.
+        With ``workers > 1`` each bank's subsequence runs in a worker
+        process on a copy of the bank; the mutated copies are swapped
+        back in afterwards.
+
+        Args:
+            keys: Search keys (bank-width).
+            banks: Bank index per key, or one index for the whole batch.
+            idle_time: Idle window accounted before each search [s], as
+                in :meth:`search`.
+            workers: Process count for the bank fan-out; ``<= 1`` runs
+                the banks in-process.
+        """
+        keys = list(keys)
+        if isinstance(banks, (int, np.integer)):
+            bank_ids = [int(banks)] * len(keys)
+        else:
+            bank_ids = [int(b) for b in banks]
+        if len(bank_ids) != len(keys):
+            raise TCAMError(
+                f"{len(bank_ids)} bank indices for {len(keys)} keys"
+            )
+        for b in bank_ids:
+            if not 0 <= b < self.n_banks:
+                raise TCAMError(f"bank {b} outside [0, {self.n_banks})")
+        if not keys:
+            return []
+
+        with obs.span(
+            "chip.search_batch", n_keys=len(keys), n_banks=self.n_banks
+        ) as sp:
+            m = obs.metrics()
+            # Step the wake / idle-leak / gating state machine through the
+            # batch in key order -- it only reads and writes the powered
+            # mask, so it factors out of the bank searches exactly.
+            overheads: list[EnergyLedger] = []
+            extras: list[float] = []
+            for b in bank_ids:
+                ledger = EnergyLedger()
+                extras.append(self._wake(b, ledger))
+                if idle_time > 0.0:
+                    powered = int(np.count_nonzero(self._powered))
+                    leak_power = self.banks[0].standby_power()
+                    ledger.add(EnergyComponent.LEAKAGE, powered * leak_power * idle_time)
+                self._sleep_idle(b)
+                overheads.append(ledger)
+                if sp is not None:
+                    sp.add_energy(ledger)
+                if m is not None:
+                    m.counter("chip.searches").inc()
+                    for component, joules in ledger:
+                        m.counter("energy." + component).inc(joules)
+
+            # Group keys by bank, preserving per-bank key order.
+            by_bank: dict[int, list[int]] = {}
+            for i, b in enumerate(bank_ids):
+                by_bank.setdefault(b, []).append(i)
+            payloads = [
+                (b, self.banks[b], [keys[i] for i in idxs])
+                for b, idxs in sorted(by_bank.items())
+            ]
+            results = scatter_gather(
+                _search_bank_chunk, payloads, workers=workers, span_prefix="chip.bank"
+            )
+
+            per_key: list[SearchOutcome | None] = [None] * len(keys)
+            for b, bank_obj, outcomes in results:
+                self.banks[b] = bank_obj
+                for i, outcome in zip(by_bank[b], outcomes):
+                    per_key[i] = outcome
+
+            chip_outcomes: list[ChipSearchOutcome] = []
+            for i, (b, outcome) in enumerate(zip(bank_ids, per_key)):
+                ledger = EnergyLedger()
+                ledger.merge(overheads[i])
+                ledger.merge(outcome.energy)
+                row = None
+                if outcome.first_match is not None:
+                    row = b * self.geometry.rows + outcome.first_match
+                chip_outcomes.append(
+                    ChipSearchOutcome(
+                        bank=b,
+                        row=row,
+                        outcome=outcome,
+                        energy=ledger,
+                        latency=outcome.search_delay + extras[i],
+                    )
+                )
+            if sp is not None:
+                sp.annotate(banks_touched=len(by_bank))
+            return chip_outcomes
 
     # ------------------------------------------------------------------
 

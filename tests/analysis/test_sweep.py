@@ -38,3 +38,47 @@ class TestSweep:
 
     def test_empty_values_empty_result(self):
         assert Sweep(knob="n", values=[], evaluate=lambda n: {}).run().rows == ()
+
+
+def _fail_on_negative(v):
+    if v < 0:
+        raise RuntimeError("negative knob")
+    return {"y": float(v)}
+
+
+class TestSweepErrorPaths:
+    def test_missing_column_names_the_column(self):
+        result = Sweep(knob="n", values=[1, 2], evaluate=lambda n: {"a": n}).run()
+        with pytest.raises(AnalysisError, match=r"no column 'missing'"):
+            result.column("missing")
+
+    def test_series_missing_y_column_raises(self):
+        result = Sweep(knob="n", values=[1], evaluate=lambda n: {"a": n}).run()
+        with pytest.raises(AnalysisError, match=r"no column 'b'"):
+            result.series("b")
+
+    def test_series_on_partial_rows_raises(self):
+        # A column present in some rows but not all is still an error.
+        result = Sweep(
+            knob="n",
+            values=[1, 2],
+            evaluate=lambda n: {"odd": 1} if n % 2 else {"even": 0},
+        ).run()
+        with pytest.raises(AnalysisError, match=r"no column 'odd'"):
+            result.column("odd")
+
+    def test_evaluator_exception_names_failing_knob_value(self):
+        sweep = Sweep(knob="bias", values=[1, -3, 2], evaluate=_fail_on_negative)
+        with pytest.raises(AnalysisError, match=r"bias=-3.*negative knob"):
+            sweep.run()
+
+    def test_evaluator_exception_names_value_with_workers(self):
+        sweep = Sweep(knob="bias", values=[1, -3, 2], evaluate=_fail_on_negative)
+        with pytest.raises(AnalysisError, match=r"bias=-3.*negative knob"):
+            sweep.run(workers=2)
+
+    def test_evaluator_exception_preserves_cause_serially(self):
+        sweep = Sweep(knob="bias", values=[-1], evaluate=_fail_on_negative)
+        with pytest.raises(AnalysisError) as excinfo:
+            sweep.run()
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
