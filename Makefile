@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-parallel report examples clean
+.PHONY: install test bench bench-parallel bench-faults report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -15,6 +15,9 @@ bench:
 
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel.py --check
+
+bench-faults:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fig19_faults.py --check
 
 report: bench
 	$(PYTHON) -m repro report --output-dir benchmarks/output --out REPORT.md

@@ -210,17 +210,25 @@ def main() -> None:
         args.output.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {args.output}")
 
-    if args.check and record["cpu_count"] >= 2:
-        slow = [
-            b for b in record["benchmarks"]
-            if b["speedup"] < SPEEDUP_FLOOR
-        ]
-        if slow:
-            names = ", ".join(f"{b['name']} ({b['speedup']}x)" for b in slow)
-            raise SystemExit(
-                f"speedup below the {SPEEDUP_FLOOR}x floor with "
-                f"{record['cpu_count']} CPUs: {names}"
+    if args.check:
+        if record["cpu_count"] < 2:
+            print(
+                f"SKIP: speedup floor ({SPEEDUP_FLOOR}x) not enforced -- host "
+                f"exposes {record['cpu_count']} CPU to this process, so workers "
+                "time-slice one core; serial/parallel equivalence was still "
+                "asserted above"
             )
+        else:
+            slow = [
+                b for b in record["benchmarks"]
+                if b["speedup"] < SPEEDUP_FLOOR
+            ]
+            if slow:
+                names = ", ".join(f"{b['name']} ({b['speedup']}x)" for b in slow)
+                raise SystemExit(
+                    f"speedup below the {SPEEDUP_FLOOR}x floor with "
+                    f"{record['cpu_count']} CPUs: {names}"
+                )
 
 
 if __name__ == "__main__":

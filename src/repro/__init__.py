@@ -31,10 +31,12 @@ from .errors import (
     CircuitError,
     DesignError,
     DeviceError,
+    FaultError,
     ReproError,
     TCAMError,
     WorkloadError,
 )
+from .faults import FaultCampaign, FaultKind, FaultMap
 from .tcam import (
     ArrayGeometry,
     BaseOutcome,
@@ -74,6 +76,11 @@ __all__ = [
     "DesignError",
     "AnalysisError",
     "WorkloadError",
+    "FaultError",
+    # faults
+    "FaultKind",
+    "FaultMap",
+    "FaultCampaign",
     # tcam
     "Trit",
     "TernaryWord",

@@ -8,6 +8,11 @@ from .montecarlo_array import (
     critical_keys,
     run_array_mc,
 )
+from .faultcampaign import (
+    FaultCampaignResult,
+    FaultDensityPoint,
+    run_fault_campaign,
+)
 from .yieldest import failure_rate_vs_sigma, search_failure_probability
 from .sweep import Sweep, SweepResult
 from .disturb import V_HALF, V_THIRD, DisturbAnalysis, DisturbPoint, WriteScheme
@@ -30,6 +35,9 @@ __all__ = [
     "ArrayMCResult",
     "critical_keys",
     "run_array_mc",
+    "FaultCampaignResult",
+    "FaultDensityPoint",
+    "run_fault_campaign",
     "search_failure_probability",
     "failure_rate_vs_sigma",
     "Sweep",

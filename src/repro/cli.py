@@ -58,6 +58,7 @@ TRACEABLE_COMMANDS = (
     "retention",
     "report",
     "advise",
+    "faults",
 )
 
 
@@ -322,6 +323,53 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .analysis.faultcampaign import run_fault_campaign
+
+    densities = tuple(args.density) if args.density else (0.01, 0.02, 0.05)
+    result = run_fault_campaign(
+        design=args.design,
+        rows=args.rows,
+        cols=args.cols,
+        densities=densities,
+        mode=args.mode,
+        repair=args.repair,
+        n_spare=args.spare_rows,
+        n_trials=args.trials,
+        n_keys=args.keys,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    if args.json:
+        _emit_json({"command": "faults", **result.to_dict()})
+        return 0
+    table = Table(
+        title=(
+            f"Fault campaign: {result.design}, {result.rows}x{result.cols}, "
+            f"mode={result.mode}, repair={result.repair}"
+        ),
+        columns=[
+            "density",
+            "faulty cells",
+            "false match",
+            "false miss",
+            "dE search",
+            "yield",
+        ],
+    )
+    for p in result.points:
+        table.add_row(
+            f"{p.density:g}",
+            str(p.n_faulty_cells),
+            f"{p.false_match_rate:.2e}",
+            f"{p.false_miss_rate:.2e}",
+            f"{p.energy_delta:+.2%}",
+            f"{p.post_repair_yield:.3f}",
+        )
+    print(table)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .reporting.aggregate import write_report
 
@@ -503,6 +551,42 @@ def build_parser() -> argparse.ArgumentParser:
     advise_cmd.add_argument("--nonvolatile", action="store_true")
     advise_cmd.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     advise_cmd.set_defaults(func=_cmd_advise)
+
+    faults = sub.add_parser("faults", help="fault-density reliability campaign")
+    faults.add_argument("--design", default="fefet2t")
+    faults.add_argument("--rows", type=int, default=32)
+    faults.add_argument("--cols", type=int, default=32)
+    faults.add_argument(
+        "--density",
+        type=float,
+        action="append",
+        default=None,
+        metavar="D",
+        help="cell-fault density; repeat for a sweep (default: 0.01 0.02 0.05)",
+    )
+    faults.add_argument(
+        "--mode", choices=["random", "clustered", "wear"], default="random"
+    )
+    faults.add_argument(
+        "--repair", choices=["none", "spare-rows", "mask"], default="spare-rows"
+    )
+    faults.add_argument(
+        "--spare-rows",
+        type=int,
+        default=4,
+        help="rows reserved for the spare-row policy",
+    )
+    faults.add_argument("--trials", type=int, default=4)
+    faults.add_argument("--keys", type=int, default=24)
+    faults.add_argument("--seed", type=int, default=20260805)
+    faults.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process count for the trial fan-out (default: serial)",
+    )
+    faults.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    faults.set_defaults(func=_cmd_faults)
 
     trace = sub.add_parser(
         "trace", help="run any subcommand under the observability layer"

@@ -26,6 +26,7 @@ class EnergyComponent(str, enum.Enum):
     LEAKAGE = "leakage"
     WRITE = "write"
     CLOCK = "clock"
+    REPAIR = "repair"
 
 
 class EnergyLedger:

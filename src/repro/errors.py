@@ -42,3 +42,7 @@ class WorkloadError(ReproError):
 
 class ParallelError(ReproError):
     """The process-parallel execution layer was misconfigured."""
+
+
+class FaultError(ReproError):
+    """A fault map, campaign generator or repair policy was misused."""

@@ -1,0 +1,43 @@
+"""Fault injection and reliability: defect maps, campaigns, repair.
+
+The subsystem answers the system-level robustness question for the
+paper's energy-aware FeTCAM designs: what happens to search
+correctness, energy and yield when individual cells of a deployed
+array fail?  See DESIGN.md section 10 for the architecture.
+
+* :class:`FaultMap` -- which cells/rows are broken and how.
+* :class:`FaultCampaign` / :class:`FaultPlan` -- seeded nested
+  defect-map generators (random / clustered / wear-proportional).
+* :mod:`repro.faults.repair` -- spare-row remapping and don't-care
+  masking with energy/area accounting.
+
+Attach a map with :meth:`repro.tcam.array.TCAMArray.attach_faults` (or
+the bank/chip equivalents); density sweeps live in
+:mod:`repro.analysis.faultcampaign`.
+"""
+
+from .campaign import DEFAULT_KIND_WEIGHTS, GENERATOR_MODES, FaultCampaign, FaultPlan
+from .faultmap import FaultKind, FaultMap
+from .repair import (
+    REPAIR_POLICIES,
+    MaskPolicy,
+    NoRepairPolicy,
+    RepairReport,
+    SpareRowPolicy,
+    get_policy,
+)
+
+__all__ = [
+    "DEFAULT_KIND_WEIGHTS",
+    "GENERATOR_MODES",
+    "REPAIR_POLICIES",
+    "FaultCampaign",
+    "FaultKind",
+    "FaultMap",
+    "FaultPlan",
+    "MaskPolicy",
+    "NoRepairPolicy",
+    "RepairReport",
+    "SpareRowPolicy",
+    "get_policy",
+]

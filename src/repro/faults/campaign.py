@@ -1,0 +1,236 @@
+"""Seeded fault-map generators for reliability campaigns.
+
+A :class:`FaultCampaign` turns one RNG draw into a :class:`FaultPlan`:
+a fixed priority ordering over the array's cells plus a pre-drawn fault
+kind and value for each.  Materializing the plan at a given density
+takes the first ``round(density * rows * cols)`` cells of that order,
+so the fault set at density ``d1 < d2`` is a strict subset of the set
+at ``d2`` -- error rates are then monotone in density by construction,
+which is what the density sweeps (and the CI smoke gate) rely on.
+
+Three orderings are provided:
+
+* ``random`` -- uniform permutation (independent cell defects),
+* ``clustered`` -- cells ranked by distance to seeded cluster centers,
+  growing contiguous defect blobs as density rises (litho/etch damage),
+* ``wear`` -- weighted sampling without replacement, weights taken from
+  per-cell write counts (:meth:`repro.tcam.array.TCAMArray.wear_counts`
+  under a :class:`~repro.tcam.writer.WriteScheduler` workload), so
+  heavily cycled cells fail first (endurance wear-out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FaultError
+from .faultmap import FaultKind, FaultMap
+
+GENERATOR_MODES = ("random", "clustered", "wear")
+
+#: Default fault-kind mix of one drawn plan: equal parts of the four
+#: cell-level categories.
+DEFAULT_KIND_WEIGHTS: dict[FaultKind, float] = {
+    FaultKind.STUCK_MATCH: 0.25,
+    FaultKind.STUCK_MISS: 0.25,
+    FaultKind.STUCK_TRIT: 0.25,
+    FaultKind.RETENTION: 0.25,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One drawn fault trajectory: who fails, in what order, and how.
+
+    Attributes:
+        rows: Array rows.
+        cols: Array cols.
+        order: Flat cell indices in failure order.
+        kinds: Fault kind code per cell of ``order``.
+        values: Fault value per cell of ``order`` (Vt shift or frozen
+            trit, matching :class:`FaultMap` semantics).
+    """
+
+    rows: int
+    cols: int
+    order: np.ndarray
+    kinds: np.ndarray
+    values: np.ndarray
+
+    def at_density(self, density: float) -> FaultMap:
+        """Materialize the first ``density`` fraction of the failure order.
+
+        Nested by construction: the map at a lower density is a subset
+        of the map at any higher one.
+        """
+        if not 0.0 <= density <= 1.0:
+            raise FaultError(f"density must be in [0, 1], got {density}")
+        n = int(round(density * self.rows * self.cols))
+        fault_map = FaultMap(self.rows, self.cols)
+        for flat, kind, value in zip(self.order[:n], self.kinds[:n], self.values[:n]):
+            row, col = divmod(int(flat), self.cols)
+            fault_map.set_cell(row, col, FaultKind(int(kind)), float(value))
+        return fault_map
+
+
+class FaultCampaign:
+    """Seeded generator of nested fault maps over one array shape.
+
+    Args:
+        rows: Array rows.
+        cols: Array cols.
+        kind_weights: Relative probability of each cell fault kind;
+            defaults to :data:`DEFAULT_KIND_WEIGHTS`.
+        vt_shift: Nominal retention Vt shift [V]; each ``RETENTION``
+            cell draws uniformly from ``[0.5, 1.5] x vt_shift``.
+        n_clusters: Cluster-center count for the ``clustered`` mode
+            (default: one center per 64 cells, at least one).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        kind_weights: dict[FaultKind, float] | None = None,
+        vt_shift: float = 0.3,
+        n_clusters: int | None = None,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise FaultError(f"campaign shape must be at least 1x1, got {rows}x{cols}")
+        if vt_shift < 0.0:
+            raise FaultError(f"vt_shift must be non-negative, got {vt_shift}")
+        weights = dict(kind_weights if kind_weights is not None else DEFAULT_KIND_WEIGHTS)
+        if not weights:
+            raise FaultError("kind_weights must name at least one fault kind")
+        total = sum(weights.values())
+        if total <= 0.0 or any(w < 0.0 for w in weights.values()):
+            raise FaultError("kind weights must be non-negative with a positive sum")
+        if FaultKind.NONE in weights:
+            raise FaultError("FaultKind.NONE cannot be drawn as a fault")
+        self.rows = rows
+        self.cols = cols
+        self.vt_shift = vt_shift
+        self._kinds = np.array([int(k) for k in weights], dtype=np.int8)
+        self._probs = np.array([weights[k] / total for k in weights])
+        if n_clusters is None:
+            n_clusters = max(1, (rows * cols) // 64)
+        if n_clusters < 1:
+            raise FaultError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.n_clusters = n_clusters
+
+    # ------------------------------------------------------------------
+
+    def _draw_kinds(
+        self, rng: np.random.Generator, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        kinds = rng.choice(self._kinds, size=n, p=self._probs)
+        values = np.zeros(n)
+        retention = kinds == int(FaultKind.RETENTION)
+        if retention.any():
+            values[retention] = self.vt_shift * rng.uniform(
+                0.5, 1.5, size=int(retention.sum())
+            )
+        stuck = kinds == int(FaultKind.STUCK_TRIT)
+        if stuck.any():
+            values[stuck] = rng.integers(0, 3, size=int(stuck.sum())).astype(float)
+        return kinds, values
+
+    def _plan_from_order(
+        self, order: np.ndarray, rng: np.random.Generator
+    ) -> FaultPlan:
+        kinds, values = self._draw_kinds(rng, order.size)
+        return FaultPlan(
+            rows=self.rows, cols=self.cols, order=order, kinds=kinds, values=values
+        )
+
+    def draw_random(self, rng: np.random.Generator) -> FaultPlan:
+        """Uniformly random failure order (independent point defects)."""
+        order = rng.permutation(self.rows * self.cols)
+        return self._plan_from_order(order, rng)
+
+    def draw_clustered(self, rng: np.random.Generator) -> FaultPlan:
+        """Failure order growing outward from seeded cluster centers."""
+        centers_r = rng.uniform(0, self.rows, size=self.n_clusters)
+        centers_c = rng.uniform(0, self.cols, size=self.n_clusters)
+        rr, cc = np.meshgrid(
+            np.arange(self.rows), np.arange(self.cols), indexing="ij"
+        )
+        dist = np.full((self.rows, self.cols), np.inf)
+        for r0, c0 in zip(centers_r, centers_c):
+            dist = np.minimum(dist, np.hypot(rr - r0, cc - c0))
+        # Tiny jitter breaks distance ties deterministically per draw.
+        score = dist.ravel() + rng.uniform(0.0, 1e-6, size=dist.size)
+        order = np.argsort(score, kind="stable")
+        return self._plan_from_order(order, rng)
+
+    def draw_wear(
+        self, rng: np.random.Generator, wear_counts: np.ndarray
+    ) -> FaultPlan:
+        """Wear-proportional failure order (Efraimidis-Spirakis keys).
+
+        Args:
+            rng: Sample source.
+            wear_counts: Per-cell write counts, shape ``(rows, cols)``
+                (see :meth:`~repro.tcam.array.TCAMArray.wear_counts`);
+                a cell's failure priority scales with ``count + 1``.
+        """
+        wear = np.asarray(wear_counts, dtype=float)
+        if wear.shape != (self.rows, self.cols):
+            raise FaultError(
+                f"wear counts shape {wear.shape} does not match campaign "
+                f"{self.rows}x{self.cols}"
+            )
+        if (wear < 0).any():
+            raise FaultError("wear counts must be non-negative")
+        weights = wear.ravel() + 1.0
+        keys = rng.random(weights.size) ** (1.0 / weights)
+        order = np.argsort(-keys, kind="stable")
+        return self._plan_from_order(order, rng)
+
+    def draw(
+        self,
+        mode: str,
+        rng: np.random.Generator,
+        wear_counts: np.ndarray | None = None,
+    ) -> FaultPlan:
+        """Draw one plan in the named mode (``random``/``clustered``/``wear``)."""
+        if mode == "random":
+            return self.draw_random(rng)
+        if mode == "clustered":
+            return self.draw_clustered(rng)
+        if mode == "wear":
+            if wear_counts is None:
+                raise FaultError("wear mode needs per-cell wear counts")
+            return self.draw_wear(rng, wear_counts)
+        raise FaultError(f"mode must be one of {GENERATOR_MODES}, got {mode!r}")
+
+    # ------------------------------------------------------------------
+    # Row-level overlays
+    # ------------------------------------------------------------------
+
+    def with_dead_rows(
+        self, fault_map: FaultMap, fraction: float, rng: np.random.Generator
+    ) -> FaultMap:
+        """Overlay ``fraction`` of rows as dead on a copy of ``fault_map``."""
+        if not 0.0 <= fraction <= 1.0:
+            raise FaultError(f"dead-row fraction must be in [0, 1], got {fraction}")
+        out = fault_map.copy()
+        n = int(round(fraction * self.rows))
+        for row in rng.permutation(self.rows)[:n]:
+            out.set_dead_row(int(row))
+        return out
+
+    def with_sa_offsets(
+        self, fault_map: FaultMap, sigma: float, rng: np.random.Generator
+    ) -> FaultMap:
+        """Overlay Gaussian per-row SA offsets on a copy of ``fault_map``."""
+        if sigma < 0.0:
+            raise FaultError(f"sa-offset sigma must be non-negative, got {sigma}")
+        out = fault_map.copy()
+        if sigma > 0.0:
+            offsets = rng.normal(0.0, sigma, size=self.rows)
+            for row, off in enumerate(offsets):
+                out.set_sa_offset(row, float(off))
+        return out

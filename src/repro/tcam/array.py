@@ -22,7 +22,7 @@ injection tests and the Monte-Carlo yield analysis).
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -35,6 +35,7 @@ from ..circuits.senseamp import CurrentRaceSenseAmp, VoltageSenseAmp
 from ..circuits.wire import M2_WIRE, M4_WIRE, WireModel
 from ..energy.accounting import EnergyComponent, EnergyLedger
 from ..errors import TCAMError
+from ..faults.faultmap import FaultKind, FaultMap
 from ..parallel import chunk_bounds, default_chunk_size, resolve_workers, scatter_gather
 from .area import TECH_45NM, TechNode, cell_dimensions
 from .cell import CellDescriptor
@@ -289,6 +290,9 @@ class TCAMArray:
         self._write_counts = np.zeros((rows, cols), dtype=np.int64)
         self._last_drive: tuple[int, ...] | None = None
         self._ml_cache = TrajectoryCache()
+        self._faults: FaultMap | None = None
+        self._faults_seen_version = -1
+        self._faults_empty = True
 
         cell_w, cell_h = cell_dimensions(cell.area_f2, geometry.node)
         self.cell_width = cell_w
@@ -462,6 +466,293 @@ class TCAMArray:
         return ledger
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def attach_faults(self, faults: FaultMap | None) -> None:
+        """Attach a defect map; searches then run the fault-injected path.
+
+        Faulty cells perturb the match-line discharge itself (their
+        pull-down composition feeds the same RK4 integration healthy
+        rows use), so faults manifest as wrong *sensed* decisions, not
+        output bit-flips.  An **empty** map is equivalent to no map:
+        the search path taken is the ordinary one, bit for bit.
+
+        Cache rule: attaching (and any later mutation of the attached
+        map, detected through :attr:`FaultMap.version`) flushes the
+        trajectory cache, and fault-class entries additionally carry
+        the map version in their keys -- stale trajectories are
+        structurally impossible.
+
+        Args:
+            faults: The defect map (array-shaped), or ``None`` to detach.
+        """
+        if faults is not None and (faults.rows, faults.cols) != (
+            self.geometry.rows,
+            self.geometry.cols,
+        ):
+            raise TCAMError(
+                f"fault map {faults.rows}x{faults.cols} does not match array "
+                f"{self.geometry.rows}x{self.geometry.cols}"
+            )
+        self._faults = faults
+        if faults is None:
+            self._faults_seen_version = -1
+            self._faults_empty = True
+        else:
+            self._faults_seen_version = faults.version
+            self._faults_empty = faults.is_empty()
+        self._ml_cache.invalidate()
+
+    def detach_faults(self) -> None:
+        """Remove the attached defect map (flushes the trajectory cache)."""
+        self.attach_faults(None)
+
+    @property
+    def faults(self) -> FaultMap | None:
+        """The attached defect map, or ``None``."""
+        return self._faults
+
+    def _fault_injection_active(self) -> bool:
+        """True when a non-empty fault map must shape the next search.
+
+        Re-inspects the attached map when its version counter moved
+        (in-place mutation after attach) and flushes the trajectory
+        cache once per such change.
+        """
+        fm = self._faults
+        if fm is None:
+            return False
+        if fm.version != self._faults_seen_version:
+            self._ml_cache.invalidate()
+            self._faults_seen_version = fm.version
+            self._faults_empty = fm.is_empty()
+        return not self._faults_empty
+
+    def _fault_row_composition(
+        self, key_arr: np.ndarray, driven: np.ndarray, eff_stored: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-cell pull-down / weakened-pull-down masks under faults.
+
+        A cell pulls its match line down when it (a) mismatches on the
+        hardware's effective content and its pull-down path is intact
+        (not ``STUCK_MATCH``), or (b) is ``STUCK_MISS`` and its column
+        is driven.  ``RETENTION`` pull-downs conduct through a shifted
+        threshold (the ``weak`` mask).
+        """
+        kind = self._faults.kind
+        x = int(Trit.X)
+        mism = (
+            driven[np.newaxis, :]
+            & (eff_stored != x)
+            & (eff_stored != key_arr[np.newaxis, :])
+        )
+        pulldown = (mism & (kind != int(FaultKind.STUCK_MATCH))) | (
+            (kind == int(FaultKind.STUCK_MISS)) & driven[np.newaxis, :]
+        )
+        weak = pulldown & (kind == int(FaultKind.RETENTION))
+        return pulldown, weak
+
+    def _fault_precharge_results(
+        self, sigs: set[tuple]
+    ) -> dict[tuple, _PrechargeClassResult]:
+        """Sensing results of the retention-degraded fault classes.
+
+        One signature ``(n_strong, weak_offsets, n_leak)`` covers every
+        row sharing that pull-down composition; all missing signatures
+        integrate in one stacked RK4 pass (same 65-point grid as the
+        nominal classes) and cache under keys carrying the fault-map
+        version.
+        """
+        results: dict[tuple, _PrechargeClassResult] = {}
+        v_pre = self.precharge.target_voltage()
+        fm_version = self._faults.version
+        missing: list[tuple] = []
+        for sig in sigs:
+            key = ("fpre", fm_version, sig, v_pre, self.t_eval)
+            cached = self._ml_cache.get(key)
+            if cached is not None:
+                results[sig] = cached
+            else:
+                missing.append(sig)
+        if not missing:
+            return results
+
+        i_pulldown = self.cell.i_pulldown
+        i_leak = self.cell.i_leak
+
+        def currents(v: np.ndarray) -> np.ndarray:
+            stacked = np.empty(len(missing))
+            for k, (n_strong, offsets, n_leak) in enumerate(missing):
+                v_k = float(v[k])
+                total = 0.0
+                if n_strong:
+                    total += n_strong * i_pulldown(v_k)
+                for dvt in offsets:
+                    total += i_pulldown(v_k, dvt)
+                if n_leak:
+                    total += n_leak * i_leak(v_k)
+                stacked[k] = total
+            return stacked
+
+        with obs.span("array.integrate_faulty", n_classes=len(missing)):
+            grid = np.linspace(0.0, self.t_eval, 65)
+            v_ends = discharge_waveform_batch(
+                self.c_ml, currents, np.full(len(missing), v_pre), grid
+            )
+        for sig, v_end in zip(missing, v_ends):
+            result = self._precharge_class_from_v_end(float(v_end))
+            self._ml_cache.put(("fpre", fm_version, sig, v_pre, self.t_eval), result)
+            results[sig] = result
+        return results
+
+    def _search_impl_faulty(self, key: TernaryWord, active: np.ndarray) -> SearchOutcome:
+        """One search with the attached (non-empty) fault map injected.
+
+        Healthy-composition rows reuse the nominal per-class machinery
+        (a row with ``n`` intact pull-downs is electrically a nominal
+        ``n``-mismatch row); retention-degraded rows integrate their own
+        composite-current classes; per-row SA offsets shift the strobe;
+        dead rows drop out of sensing entirely (no precharge, no energy,
+        no match).  The logical oracle for ``functional_errors`` is the
+        *intended* content -- so every divergence a fault causes is
+        counted, including writes a ``STUCK_TRIT`` cell swallowed.
+        """
+        fm = self._faults
+        key_arr = key.as_array()
+        x = int(Trit.X)
+        driven = key_arr != x
+        driven_cols = int(np.count_nonzero(driven))
+        eff_stored = fm.effective_stored(self._stored)
+        pulldown, weak = self._fault_row_composition(key_arr, driven, eff_stored)
+        n_pull = pulldown.sum(axis=1)
+        n_weak = weak.sum(axis=1)
+        sensed = active & ~fm.dead_rows
+
+        ledger = EnergyLedger()
+        self._book_searchline_energy(ledger, key)
+
+        rows = self.geometry.rows
+        physical = np.zeros(rows, dtype=bool)
+
+        # Fault-class signature of every retention-degraded sensed row.
+        weak_sigs: dict[int, tuple] = {}
+        for r in np.flatnonzero(sensed & (n_weak > 0)):
+            r = int(r)
+            offsets = tuple(sorted(float(v) for v in fm.value[r][weak[r]]))
+            weak_sigs[r] = (
+                int(n_pull[r] - n_weak[r]),
+                offsets,
+                int(driven_cols - n_pull[r]),
+            )
+
+        any_sensed = bool(np.any(sensed))
+        if self.sensing == "precharge":
+            nominal = np.unique(n_pull[sensed & (n_weak == 0)])
+            class_results = {
+                int(n): self._cached_class(int(n), driven_cols) for n in nominal
+            }
+            sig_results = self._fault_precharge_results(set(weak_sigs.values()))
+            t_sa_max = 0.0
+            t_restore_max = 0.0
+            if any_sensed:
+                for r in np.flatnonzero(sensed):
+                    r = int(r)
+                    res = (
+                        sig_results[weak_sigs[r]]
+                        if r in weak_sigs
+                        else class_results[int(n_pull[r])]
+                    )
+                    offset = float(fm.sa_offset[r])
+                    if offset == 0.0:
+                        physical[r] = res.is_match
+                        t_sa = res.t_sense
+                        e_sense = res.e_sense
+                    else:
+                        decision = self.sense_amp.strobe(res.v_end - offset)
+                        physical[r] = decision.is_match
+                        t_sa = decision.delay
+                        e_sense = decision.energy
+                    ledger.add(EnergyComponent.ML_PRECHARGE, res.e_restore)
+                    ledger.add(EnergyComponent.ML_DISSIPATION, res.e_diss)
+                    ledger.add(EnergyComponent.SENSE_AMP, e_sense)
+                    t_sa_max = max(t_sa_max, t_sa)
+                    t_restore_max = max(t_restore_max, res.t_restore)
+                t_sense = self.t_eval + t_sa_max
+                t_cycle = t_sense + t_restore_max
+            else:
+                t_sense = self.t_eval
+                t_cycle = self.t_eval
+        else:
+            if any_sensed:
+                v_trip = self.race_amp.v_trip
+                i_pd0 = self.cell.i_pulldown(v_trip)
+                i_lk0 = self.cell.i_leak(v_trip)
+                for r in np.flatnonzero(sensed):
+                    r = int(r)
+                    n_strong = int(n_pull[r] - n_weak[r])
+                    i_total = n_strong * i_pd0 + (driven_cols - int(n_pull[r])) * i_lk0
+                    if n_weak[r]:
+                        for dvt in fm.value[r][weak[r]]:
+                            i_total += self.cell.i_pulldown(v_trip, float(dvt))
+                    offset = float(fm.sa_offset[r])
+                    amp = (
+                        self.race_amp
+                        if offset == 0.0
+                        else replace(self.race_amp, offset=offset)
+                    )
+                    decision = amp.evaluate(self.c_ml, i_total)
+                    physical[r] = decision.is_match
+                    ledger.add(EnergyComponent.RACE_SOURCE, decision.energy)
+                cutoff = self.race_amp.cutoff_time(self.c_ml)
+                t_sense = cutoff
+                t_cycle = 1.2 * cutoff
+            else:
+                t_sense = self.race_amp.t_window
+                t_cycle = self.race_amp.t_window
+
+        ledger.add(EnergyComponent.PRIORITY_ENCODER, self.encoder.energy_per_search)
+        effective = physical & self._valid
+        first = self.encoder.encode(effective)
+
+        search_delay = self.sl_settle_delay + t_sense + self.encoder.delay
+        cycle_time = self.sl_settle_delay + t_cycle
+
+        leak = (
+            self.geometry.rows
+            * self.geometry.cols
+            * self.cell.standby_leakage(self.vdd)
+            * self.vdd
+            * cycle_time
+        )
+        ledger.add(EnergyComponent.LEAKAGE, leak)
+
+        # Histogram over the hardware's effective content; the error
+        # oracle over the intended content and the caller's full mask
+        # (a matching word on a dead row is a functional error).
+        miss_eff = mismatch_counts(eff_stored, key_arr)
+        unique, inverse = np.unique(miss_eff, return_inverse=True)
+        counts_valid = np.bincount(inverse[self._valid], minlength=unique.size)
+        histogram = {int(n): int(c) for n, c in zip(unique, counts_valid) if c}
+        logical_match = (
+            (mismatch_counts(self._stored, key_arr) == 0) & self._valid & active
+        )
+        errors = int(np.count_nonzero(effective != logical_match))
+        m = obs.metrics()
+        if m is not None:
+            m.counter("faults.searches").inc()
+            m.counter("faults.functional_errors").inc(errors)
+        return SearchOutcome(
+            match_mask=effective,
+            first_match=first,
+            energy=ledger,
+            search_delay=search_delay,
+            cycle_time=cycle_time,
+            miss_histogram=histogram,
+            functional_errors=errors,
+        )
+
+    # ------------------------------------------------------------------
     # Search path
     # ------------------------------------------------------------------
 
@@ -505,6 +796,8 @@ class TCAMArray:
                 raise TCAMError(
                     f"row_mask must have shape ({self.geometry.rows},), got {active.shape}"
                 )
+        if self._fault_injection_active():
+            return self._search_impl_faulty(key, active)
         key_arr = key.as_array()
         driven_cols = int(np.count_nonzero(key_arr != int(Trit.X)))
         miss = mismatch_counts(self._stored, key_arr)
@@ -594,6 +887,14 @@ class TCAMArray:
         row_mask: np.ndarray | None = None,
         workers: int = 0,
     ) -> list[SearchOutcome]:
+        if self._fault_injection_active():
+            # Per-row faults break the per-class dedup the batch engine is
+            # built around, so a faulty batch is the per-key serial loop
+            # (which preserves the sequential SL-toggle semantics and is
+            # trivially identical for every worker count).  Campaigns
+            # parallelize across trials instead -- see
+            # :mod:`repro.analysis.faultcampaign`.
+            return [self._search_impl(key, row_mask) for key in keys]
         packed = pack_keys(keys)
         if packed.shape[1] != self.geometry.cols:
             raise TCAMError(
@@ -1067,6 +1368,11 @@ class TCAMArray:
     def _nearest_match_impl(self, key: TernaryWord) -> NearestMatchOutcome:
         if self.sensing != "precharge":
             raise TCAMError("nearest_match() requires precharge-style sensing")
+        if self._fault_injection_active():
+            raise TCAMError(
+                "nearest_match() does not support fault injection; "
+                "detach the fault map first"
+            )
         if len(key) != self.geometry.cols:
             raise TCAMError(
                 f"key width {len(key)} does not match array cols {self.geometry.cols}"
@@ -1137,6 +1443,11 @@ class TCAMArray:
         """
         if self.sensing != "precharge":
             raise TCAMError("nearest_match() requires precharge-style sensing")
+        if self._fault_injection_active():
+            raise TCAMError(
+                "nearest_match() does not support fault injection; "
+                "detach the fault map first"
+            )
         keys = list(keys)
         if not keys:
             return []

@@ -24,6 +24,7 @@ import numpy as np
 from .. import obs
 from ..energy.accounting import EnergyLedger
 from ..errors import TCAMError
+from ..faults.faultmap import FaultMap
 from .array import ArrayGeometry, SearchOutcome, TCAMArray
 from .cell import CellDescriptor
 from .outcome import BaseOutcome
@@ -117,6 +118,33 @@ class SegmentedBank:
         left = self.stage1.word_at(row)
         right = self.stage2.word_at(row)
         return TernaryWord(list(left) + list(right))
+
+    def attach_faults(self, faults: FaultMap | None) -> None:
+        """Attach a bank-shaped defect map, projected onto both stages.
+
+        The map covers the *logical* word (``rows x cols``); its column
+        split follows the probe/tail partition, and row-level faults
+        (dead rows, SA offsets) replicate into both stage arrays -- a
+        broken match line takes out the whole logical row.
+        """
+        if faults is None:
+            self.stage1.detach_faults()
+            self.stage2.detach_faults()
+            return
+        if (faults.rows, faults.cols) != (self.geometry.rows, self.geometry.cols):
+            raise TCAMError(
+                f"fault map {faults.rows}x{faults.cols} does not match bank "
+                f"{self.geometry.rows}x{self.geometry.cols}"
+            )
+        probe, tail = faults.split_cols(
+            [self.probe_cols, self.geometry.cols - self.probe_cols]
+        )
+        self.stage1.attach_faults(probe)
+        self.stage2.attach_faults(tail)
+
+    def detach_faults(self) -> None:
+        """Remove the defect maps from both stage arrays."""
+        self.attach_faults(None)
 
     # ------------------------------------------------------------------
 
@@ -289,6 +317,28 @@ class HierarchicalBank:
         for stage in self.stages:
             parts.extend(list(stage.word_at(row)))
         return TernaryWord(parts)
+
+    def attach_faults(self, faults: FaultMap | None) -> None:
+        """Attach a bank-shaped defect map, one column slice per stage.
+
+        Row-level faults replicate into every stage array, as in
+        :meth:`SegmentedBank.attach_faults`.
+        """
+        if faults is None:
+            for stage in self.stages:
+                stage.detach_faults()
+            return
+        if (faults.rows, faults.cols) != (self.geometry.rows, self.geometry.cols):
+            raise TCAMError(
+                f"fault map {faults.rows}x{faults.cols} does not match bank "
+                f"{self.geometry.rows}x{self.geometry.cols}"
+            )
+        for stage, sub in zip(self.stages, faults.split_cols(self.segment_cols)):
+            stage.attach_faults(sub)
+
+    def detach_faults(self) -> None:
+        """Remove the defect maps from every stage array."""
+        self.attach_faults(None)
 
     def search(self, key: TernaryWord) -> SegmentedSearchOutcome:
         """N-stage search with exact selective-precharge accounting.

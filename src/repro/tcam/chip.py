@@ -26,6 +26,7 @@ import numpy as np
 from .. import obs
 from ..energy.accounting import EnergyComponent, EnergyLedger
 from ..errors import CapacityError, TCAMError
+from ..faults.faultmap import FaultMap
 from ..parallel import scatter_gather
 from .array import SearchOutcome, TCAMArray
 from .outcome import BaseOutcome
@@ -178,6 +179,29 @@ class TCAMChip:
         for row, word in enumerate(words):
             ledger.merge(self.write(row, word))
         return ledger
+
+    def attach_faults(self, faults: FaultMap | None) -> None:
+        """Attach a chip-global defect map (``rows_total x cols``).
+
+        Row groups project onto the banks in chip row-major order, so
+        fault row ``i`` lands on bank ``i // rows`` local row
+        ``i % rows`` -- the same addressing :meth:`write` uses.
+        """
+        if faults is None:
+            for bank in self.banks:
+                bank.detach_faults()
+            return
+        if (faults.rows, faults.cols) != (self.rows_total, self.geometry.cols):
+            raise TCAMError(
+                f"fault map {faults.rows}x{faults.cols} does not match chip "
+                f"{self.rows_total}x{self.geometry.cols}"
+            )
+        for bank, sub in zip(self.banks, faults.split_rows(self.geometry.rows)):
+            bank.attach_faults(sub)
+
+    def detach_faults(self) -> None:
+        """Remove the defect maps from every bank."""
+        self.attach_faults(None)
 
     # ------------------------------------------------------------------
 

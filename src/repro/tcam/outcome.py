@@ -26,6 +26,12 @@ from typing import Any
 
 import numpy as np
 
+#: Version of the serialized outcome format emitted by
+#: :meth:`BaseOutcome.to_dict` (and hence every CLI ``--json`` payload
+#: and trace export).  Bump on any change to the canonical key set or
+#: the meaning of an existing key; see DESIGN.md section 7.
+SCHEMA_VERSION = 1
+
 
 class BaseOutcome:
     """Uniform accessor surface + serializer shared by all outcomes.
@@ -46,12 +52,16 @@ class BaseOutcome:
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready dict with one canonical shape for every outcome.
 
-        Canonical keys (always present): ``type``, ``match_mask``,
-        ``first_match``, ``energy`` (component map), ``energy_total``,
-        ``search_delay``, ``cycle_time``.  Type-specific extras follow.
+        Canonical keys (always present): ``schema_version``, ``type``,
+        ``match_mask``, ``first_match``, ``energy`` (component map),
+        ``energy_total``, ``search_delay``, ``cycle_time``.
+        Type-specific extras follow.  Downstream consumers should
+        check ``schema_version`` (currently :data:`SCHEMA_VERSION`)
+        before relying on the shape.
         """
         mask = self.match_mask
         out: dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
             "type": type(self).__name__,
             "match_mask": None if mask is None else [bool(m) for m in mask],
             "first_match": None if self.first_match is None else int(self.first_match),

@@ -1,0 +1,174 @@
+"""Unit tests for the FaultMap value object."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultKind, FaultMap
+from repro.tcam.trit import Trit
+
+
+class TestConstructionAndValidation:
+    def test_fresh_map_is_empty(self):
+        fm = FaultMap(4, 8)
+        assert fm.is_empty()
+        assert fm.n_faulty_cells() == 0
+        assert not fm.faulty_rows().any()
+
+    @pytest.mark.parametrize("rows,cols", [(0, 4), (4, 0), (-1, 4)])
+    def test_degenerate_shape_rejected(self, rows, cols):
+        with pytest.raises(FaultError):
+            FaultMap(rows, cols)
+
+    @pytest.mark.parametrize("row,col", [(-1, 0), (4, 0), (0, -1), (0, 8)])
+    def test_cell_bounds_checked(self, row, col):
+        fm = FaultMap(4, 8)
+        with pytest.raises(FaultError):
+            fm.set_cell(row, col, FaultKind.STUCK_MATCH)
+
+    def test_retention_value_must_be_finite(self):
+        fm = FaultMap(4, 8)
+        with pytest.raises(FaultError):
+            fm.set_cell(0, 0, FaultKind.RETENTION, value=float("nan"))
+
+    def test_stuck_trit_value_must_be_a_trit_code(self):
+        fm = FaultMap(4, 8)
+        with pytest.raises(FaultError):
+            fm.set_cell(0, 0, FaultKind.STUCK_TRIT, value=7)
+        fm.set_cell(0, 0, FaultKind.STUCK_TRIT, value=int(Trit.X))
+        assert fm.value[0, 0] == float(int(Trit.X))
+
+    def test_non_valued_kinds_clear_value(self):
+        fm = FaultMap(4, 8)
+        fm.set_cell(1, 1, FaultKind.STUCK_MATCH, value=3.0)
+        assert fm.value[1, 1] == 0.0
+
+    def test_set_cell_none_heals(self):
+        fm = FaultMap(4, 8)
+        fm.set_cell(2, 3, FaultKind.STUCK_MISS)
+        fm.set_cell(2, 3, FaultKind.NONE)
+        assert fm.is_empty()
+
+    def test_row_level_setters_bounds_and_finiteness(self):
+        fm = FaultMap(4, 8)
+        with pytest.raises(FaultError):
+            fm.set_dead_row(4)
+        with pytest.raises(FaultError):
+            fm.set_sa_offset(0, float("inf"))
+
+
+class TestVersionCounter:
+    def test_every_mutation_bumps_version(self):
+        fm = FaultMap(4, 8)
+        v = fm.version
+        fm.set_cell(0, 0, FaultKind.STUCK_MATCH)
+        fm.set_dead_row(1)
+        fm.set_sa_offset(2, 0.05)
+        fm.merge(FaultMap(4, 8))
+        assert fm.version == v + 4
+
+    def test_copy_is_independent(self):
+        fm = FaultMap(4, 8)
+        fm.set_cell(0, 0, FaultKind.STUCK_MISS)
+        dup = fm.copy()
+        dup.set_cell(1, 1, FaultKind.STUCK_MATCH)
+        assert fm.kind[1, 1] == int(FaultKind.NONE)
+        assert dup.kind[0, 0] == int(FaultKind.STUCK_MISS)
+
+
+class TestQueries:
+    def test_faulty_rows_covers_all_fault_levels(self):
+        fm = FaultMap(5, 4)
+        fm.set_cell(0, 2, FaultKind.RETENTION, value=0.3)
+        fm.set_dead_row(2)
+        fm.set_sa_offset(4, -0.1)
+        assert list(np.flatnonzero(fm.faulty_rows())) == [0, 2, 4]
+
+    def test_summary_census(self):
+        fm = FaultMap(4, 4)
+        fm.set_cell(0, 0, FaultKind.STUCK_MATCH)
+        fm.set_cell(0, 1, FaultKind.STUCK_MATCH)
+        fm.set_cell(1, 0, FaultKind.RETENTION, value=0.2)
+        fm.set_dead_row(3)
+        s = fm.summary()
+        assert s["stuck_match"] == 2
+        assert s["retention"] == 1
+        assert s["stuck_miss"] == 0
+        assert s["dead_rows"] == 1
+
+    def test_effective_stored_freezes_only_stuck_trits(self):
+        fm = FaultMap(2, 3)
+        fm.set_cell(0, 1, FaultKind.STUCK_TRIT, value=int(Trit.X))
+        fm.set_cell(1, 0, FaultKind.RETENTION, value=0.5)
+        stored = np.zeros((2, 3), dtype=np.int8)
+        eff = fm.effective_stored(stored)
+        assert eff[0, 1] == int(Trit.X)
+        assert eff[1, 0] == 0  # retention damage is electrical, not logical
+        assert stored[0, 1] == 0  # input untouched
+
+    def test_effective_stored_shape_checked(self):
+        fm = FaultMap(2, 3)
+        with pytest.raises(FaultError):
+            fm.effective_stored(np.zeros((3, 2), dtype=np.int8))
+
+
+class TestMerge:
+    def test_merge_overlays_and_other_wins(self):
+        a = FaultMap(3, 3)
+        a.set_cell(0, 0, FaultKind.STUCK_MATCH)
+        b = FaultMap(3, 3)
+        b.set_cell(0, 0, FaultKind.STUCK_MISS)
+        b.set_dead_row(1)
+        b.set_sa_offset(2, 0.07)
+        a.merge(b)
+        assert a.kind[0, 0] == int(FaultKind.STUCK_MISS)
+        assert a.dead_rows[1]
+        assert a.sa_offset[2] == 0.07
+
+    def test_merge_shape_checked(self):
+        with pytest.raises(FaultError):
+            FaultMap(3, 3).merge(FaultMap(3, 4))
+
+
+class TestSplits:
+    def test_split_cols_partitions_cell_faults(self):
+        fm = FaultMap(4, 10)
+        fm.set_cell(1, 2, FaultKind.STUCK_MATCH)
+        fm.set_cell(1, 7, FaultKind.RETENTION, value=0.4)
+        fm.set_dead_row(0)
+        fm.set_sa_offset(3, 0.1)
+        left, right = fm.split_cols([4, 6])
+        assert (left.rows, left.cols) == (4, 4)
+        assert (right.rows, right.cols) == (4, 6)
+        assert left.kind[1, 2] == int(FaultKind.STUCK_MATCH)
+        assert right.kind[1, 3] == int(FaultKind.RETENTION)
+        assert right.value[1, 3] == 0.4
+        # Row-level faults replicate into every segment.
+        for seg in (left, right):
+            assert seg.dead_rows[0]
+            assert seg.sa_offset[3] == 0.1
+
+    def test_split_cols_validation(self):
+        fm = FaultMap(4, 10)
+        with pytest.raises(FaultError):
+            fm.split_cols([4, 5])
+        with pytest.raises(FaultError):
+            fm.split_cols([10, 0])
+
+    def test_split_rows_partitions_everything(self):
+        fm = FaultMap(6, 4)
+        fm.set_cell(0, 1, FaultKind.STUCK_MISS)
+        fm.set_cell(4, 2, FaultKind.STUCK_TRIT, value=1)
+        fm.set_dead_row(5)
+        top, bottom = fm.split_rows(3)
+        assert top.kind[0, 1] == int(FaultKind.STUCK_MISS)
+        assert bottom.kind[1, 2] == int(FaultKind.STUCK_TRIT)
+        assert bottom.value[1, 2] == 1.0
+        assert bottom.dead_rows[2]
+        assert not top.dead_rows.any()
+
+    def test_split_rows_requires_divisibility(self):
+        with pytest.raises(FaultError):
+            FaultMap(6, 4).split_rows(4)

@@ -1,0 +1,177 @@
+"""Repair policies: spare-row remapping and don't-care masking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_array, get_design
+from repro.energy.accounting import EnergyComponent
+from repro.errors import FaultError
+from repro.faults import (
+    FaultKind,
+    FaultMap,
+    MaskPolicy,
+    NoRepairPolicy,
+    SpareRowPolicy,
+    get_policy,
+)
+from repro.tcam import ArrayGeometry
+from repro.tcam.trit import Trit, random_word
+
+ROWS, COLS, N_SPARE = 8, 12, 2
+DATA_ROWS = ROWS - N_SPARE
+
+
+def _loaded_array(seed=5):
+    """Content in the first DATA_ROWS rows; the bottom N_SPARE start empty."""
+    rng = np.random.default_rng(seed)
+    words = [random_word(COLS, rng, x_fraction=0.2) for _ in range(DATA_ROWS)]
+    array = build_array(get_design("fefet2t"), ArrayGeometry(ROWS, COLS))
+    array.load(words)
+    return array, words
+
+
+class TestSpareRowPolicy:
+    def test_relocates_content_and_books_repair_energy(self):
+        array, words = _loaded_array()
+        fm = FaultMap(ROWS, COLS)
+        fm.set_cell(1, 4, FaultKind.STUCK_MISS)
+        report = SpareRowPolicy(N_SPARE).repair(array, fm)
+
+        assert report.policy == "spare-rows"
+        assert report.repaired_rows == (1,)
+        assert report.unrepaired_rows == ()
+        spare = report.row_map[1]
+        assert spare >= DATA_ROWS
+        assert not array.valid_mask()[1]
+        assert array.valid_mask()[spare]
+        assert np.array_equal(array.word_at(spare).as_array(), words[1].as_array())
+        assert report.energy.total > 0.0
+        assert report.energy.as_dict() == {
+            EnergyComponent.REPAIR.value: report.energy.total
+        }
+        assert report.area_overhead == N_SPARE / ROWS
+
+    def test_repaired_lookup_matches_at_the_spare(self):
+        array, words = _loaded_array()
+        fm = FaultMap(ROWS, COLS)
+        fm.set_cell(1, 4, FaultKind.STUCK_MISS)
+        array.attach_faults(fm)
+        report = SpareRowPolicy(N_SPARE).repair(array, fm)
+        spare = report.row_map[1]
+        key = words[1]  # reuse the stored word (X cols undriven) as the probe
+        out = array.search(key)
+        assert out.match_mask[spare]
+        assert not out.match_mask[1]
+
+    def test_faulty_or_occupied_spares_are_skipped(self):
+        array, _ = _loaded_array()
+        fm = FaultMap(ROWS, COLS)
+        fm.set_cell(0, 0, FaultKind.STUCK_MATCH)
+        fm.set_cell(1, 1, FaultKind.STUCK_MATCH)
+        fm.set_dead_row(DATA_ROWS)  # first spare is itself broken
+        report = SpareRowPolicy(N_SPARE).repair(array, fm)
+        assert report.repaired_rows == (0,)  # only one healthy spare left
+        assert report.unrepaired_rows == (1,)
+        assert report.row_map[0] == DATA_ROWS + 1
+
+    def test_broken_spares_not_counted_as_broken_data(self):
+        array, _ = _loaded_array()
+        fm = FaultMap(ROWS, COLS)
+        fm.set_sa_offset(ROWS - 1, 0.2)  # fault inside the (empty) spare region
+        report = SpareRowPolicy(N_SPARE).repair(array, fm)
+        assert report.repaired_rows == ()
+        assert report.unrepaired_rows == ()
+
+    def test_validation(self):
+        array, _ = _loaded_array()
+        with pytest.raises(FaultError):
+            SpareRowPolicy(-1)
+        with pytest.raises(FaultError):
+            SpareRowPolicy(ROWS + 1).repair(array, FaultMap(ROWS, COLS))
+        with pytest.raises(FaultError):
+            SpareRowPolicy(N_SPARE).repair(array, FaultMap(ROWS + 1, COLS))
+
+
+class TestMaskPolicy:
+    def test_masks_maskable_kinds_with_x(self):
+        array, words = _loaded_array()
+        fm = FaultMap(ROWS, COLS)
+        fm.set_cell(0, 2, FaultKind.STUCK_MATCH)
+        fm.set_cell(0, 5, FaultKind.RETENTION, value=0.3)
+        fm.set_cell(2, 1, FaultKind.STUCK_TRIT, value=int(Trit.X))
+        report = MaskPolicy().repair(array, fm)
+        assert report.policy == "mask"
+        assert set(report.repaired_rows) == {0, 2}
+        assert report.masked_cells == 3
+        assert report.row_map == {}
+        assert report.area_overhead == 0.0
+        assert report.energy.total > 0.0
+        codes = array.word_at(0).as_array()
+        assert codes[2] == int(Trit.X) and codes[5] == int(Trit.X)
+        assert array.word_at(2).as_array()[1] == int(Trit.X)
+
+    def test_unmaskable_kinds_stay_unrepaired(self):
+        array, _ = _loaded_array()
+        fm = FaultMap(ROWS, COLS)
+        fm.set_cell(0, 2, FaultKind.STUCK_MISS)  # shorted path: X can't mimic it
+        fm.set_cell(1, 3, FaultKind.STUCK_TRIT, value=0)  # frozen 0 is not X
+        fm.set_cell(2, 4, FaultKind.STUCK_MATCH)
+        fm.set_dead_row(2)  # row-level damage trumps maskable cells
+        fm.set_cell(3, 0, FaultKind.STUCK_MATCH)
+        fm.set_sa_offset(3, 0.1)
+        report = MaskPolicy().repair(array, fm)
+        assert report.repaired_rows == ()
+        assert set(report.unrepaired_rows) == {0, 1, 2, 3}
+        assert report.masked_cells == 0
+
+    def test_mask_realigns_hardware_with_oracle(self):
+        """After masking, the stuck-open column wildcards legitimately."""
+        array, words = _loaded_array()
+        fm = FaultMap(ROWS, COLS)
+        fm.set_cell(0, 2, FaultKind.STUCK_MATCH)
+        array.attach_faults(fm)
+        MaskPolicy().repair(array, fm)
+        out = array.search(words[0])
+        assert out.match_mask[0]
+
+
+class TestNoRepairAndFactory:
+    def test_none_reports_without_touching_the_array(self):
+        array, words = _loaded_array()
+        fm = FaultMap(ROWS, COLS)
+        fm.set_cell(1, 1, FaultKind.STUCK_MISS)
+        report = NoRepairPolicy().repair(array, fm)
+        assert report.policy == "none"
+        assert report.repaired_rows == ()
+        assert report.unrepaired_rows == (1,)
+        assert report.energy.total == 0.0
+        assert np.array_equal(array.word_at(1).as_array(), words[1].as_array())
+
+    def test_only_valid_rows_count_as_broken(self):
+        array, _ = _loaded_array()
+        fm = FaultMap(ROWS, COLS)
+        fm.set_cell(DATA_ROWS, 0, FaultKind.STUCK_MISS)  # empty row
+        report = NoRepairPolicy().repair(array, fm)
+        assert report.unrepaired_rows == ()
+
+    def test_factory(self):
+        assert isinstance(get_policy("none"), NoRepairPolicy)
+        assert get_policy("spare-rows", n_spare=3).n_spare == 3
+        assert isinstance(get_policy("mask"), MaskPolicy)
+        with pytest.raises(FaultError):
+            get_policy("solder")
+
+    def test_report_to_dict_shape(self):
+        array, _ = _loaded_array()
+        fm = FaultMap(ROWS, COLS)
+        fm.set_cell(0, 0, FaultKind.STUCK_MISS)
+        d = SpareRowPolicy(N_SPARE).repair(array, fm).to_dict()
+        assert set(d) == {
+            "policy", "repaired_rows", "unrepaired_rows", "masked_cells",
+            "row_map", "repair_energy", "area_overhead",
+        }
+        import json
+
+        json.dumps(d)

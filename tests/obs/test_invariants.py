@@ -257,12 +257,13 @@ class TestOutcomeApiUniformity:
 
     def test_to_dict_canonical_keys_lead(self, rng):
         canonical = [
-            "type", "match_mask", "first_match",
+            "schema_version", "type", "match_mask", "first_match",
             "energy", "energy_total", "search_delay", "cycle_time",
         ]
         for out in self._all_outcomes(rng):
             d = out.to_dict()
             assert list(d)[: len(canonical)] == canonical
+            assert d["schema_version"] == 1
             assert d["type"] == type(out).__name__
             assert d["energy_total"] == out.energy.total
             assert isinstance(d["energy"], dict)

@@ -177,3 +177,29 @@ class TestDisturb:
         assert main(["disturb", "--scheme", "V/3", "--pulses", "1000000"]) == 0
         out = capsys.readouterr().out
         assert "retention       : 1.0000" in out or "retention       : 0.99" in out
+
+
+class TestFaults:
+    _SMALL = ["faults", "--rows", "12", "--cols", "12", "--trials", "1",
+              "--keys", "6", "--spare-rows", "2", "--density", "0.05"]
+
+    def test_table_mode(self, capsys):
+        assert main(self._SMALL) == 0
+        out = capsys.readouterr().out
+        assert "density" in out and "yield" in out
+
+    def test_json_mode_carries_sweep(self, capsys):
+        assert main(self._SMALL + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "faults"
+        assert payload["repair"] == "spare-rows"
+        (point,) = payload["points"]
+        assert point["density"] == 0.05
+        assert 0.0 <= point["post_repair_yield"] <= 1.0
+
+    def test_traceable(self, capsys):
+        from repro import obs
+
+        assert main(["trace"] + self._SMALL) == 0
+        assert not obs.is_enabled()
+        assert "faults.campaign" in capsys.readouterr().out
