@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-parallel bench-faults report examples clean
+.PHONY: install test bench bench-kernels bench-parallel bench-faults report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-kernels:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernels.py --check
 
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel.py --check

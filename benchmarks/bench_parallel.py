@@ -33,7 +33,7 @@ import numpy as np
 from repro.analysis import Sweep, critical_keys, run_array_mc, run_margin_mc
 from repro.core import build_array, get_design
 from repro.devices.variability import NOMINAL_VARIATION
-from repro.parallel import available_cpus
+from repro.parallel import available_cpus, last_payload_stats
 from repro.tcam import ArrayGeometry
 from repro.tcam.chip import GatingPolicy, TCAMChip
 from repro.tcam.trit import random_word
@@ -137,6 +137,10 @@ def bench_chip_search(workers: int, n_keys: int) -> dict:
     keys_rng = np.random.default_rng(SEED + 1)
     keys = [random_word(geo.cols, keys_rng) for _ in range(n_keys)]
     banks = [i % 4 for i in range(n_keys)]
+    # Warm the process pool on a throwaway chip so the parallel timing
+    # measures the shared-memory fan-out, not one-time pool start-up
+    # (pools are cached across calls -- see repro.parallel.shutdown_pools).
+    fresh_chip().search_batch(keys[:4], banks[:4], idle_time=1e-7, workers=workers)
     serial_chip, par_chip = fresh_chip(), fresh_chip()
     serial, t_serial = _timed(
         lambda: serial_chip.search_batch(keys, banks, idle_time=1e-7, workers=1)
@@ -150,6 +154,13 @@ def bench_chip_search(workers: int, n_keys: int) -> dict:
     rec = _record("chip_search_batch", t_serial, t_par)
     rec["n_keys"] = n_keys
     rec["n_banks"] = 4
+    payload = last_payload_stats()
+    if payload is not None:
+        # What the parallel run actually shipped per chunk (the shared
+        # key matrix crosses once, outside the per-chunk payloads).
+        rec["transport"] = payload["transport"]
+        rec["payload_bytes_per_chunk"] = payload["chunk_bytes"]
+        rec["shared_bytes"] = payload["shared_bytes"]
     return rec
 
 

@@ -99,6 +99,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for spec in specs:
         array = build_array(spec, geometry)
         array.load(words)
+        if args.kernel and hasattr(array, "enable_kernel"):
+            array.enable_kernel()
         ledger = EnergyLedger()
         delay = 0.0
         cycle = 0.0
@@ -214,6 +216,8 @@ def _cmd_lpm(args: argparse.Namespace) -> int:
     rows = args.rows if args.rows is not None else 1 << (args.routes - 1).bit_length()
     array = build_array(get_design(args.design), ArrayGeometry(rows, 32))
     table.deploy(array)
+    if args.kernel and hasattr(array, "enable_kernel"):
+        array.enable_kernel()
     agreements = 0
     addresses = trace_addresses(table, args.lookups, rng)
     ledger = EnergyLedger()
@@ -478,6 +482,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="process count for the batched searches (default: serial)",
     )
+    compare.add_argument(
+        "--kernel",
+        action="store_true",
+        help=(
+            "answer batches from the compiled waveform tables "
+            "(bit-identical; under 'trace', kernels.* counters appear "
+            "in the metrics summary)"
+        ),
+    )
     compare.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     compare.set_defaults(func=_cmd_compare)
 
@@ -521,6 +534,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="process count for the batched lookups (default: serial)",
+    )
+    lpm.add_argument(
+        "--kernel",
+        action="store_true",
+        help=(
+            "answer batched lookups from the compiled waveform tables "
+            "(bit-identical; under 'trace', kernels.* counters appear "
+            "in the metrics summary)"
+        ),
     )
     lpm.add_argument("--json", action="store_true", help="emit JSON instead of text")
     lpm.set_defaults(func=_cmd_lpm)

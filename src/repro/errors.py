@@ -46,3 +46,8 @@ class ParallelError(ReproError):
 
 class FaultError(ReproError):
     """A fault map, campaign generator or repair policy was misused."""
+
+
+class KernelError(ReproError):
+    """The compiled waveform/search kernel was misconfigured or failed
+    validation against its RK4 reference."""

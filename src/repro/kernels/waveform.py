@@ -1,0 +1,314 @@
+"""Tabulated match-line discharge endpoints.
+
+A match line's strobe-time voltage depends only on its mismatch class
+``(n_miss, driven_cols)`` and the array's electrical configuration, so
+for a fixed configuration the whole class space is a dense
+``driven_cols x n_miss`` triangle that can be integrated **once** and
+answered by lookup forever after -- the per-action-estimator-over-
+tabulated-physics move that makes architecture sweeps cheap.
+
+:class:`WaveformTable` materializes that triangle row by row (one row
+per ``driven`` value, all ``n_miss in [0, driven]`` classes stacked
+through one RK4 pass), using *exactly* the per-class current arithmetic
+of the reference integrator, so a tabulated endpoint is bit-for-bit the
+value :func:`repro.circuits.rc.discharge_waveform` would produce.  The
+RK4 integrator stays the reference path: :meth:`WaveformTable.validate`
+re-integrates tabulated classes scalar-by-scalar and checks the relative
+error against a ``<= 1e-9`` budget (in practice it is exactly zero), and
+any class outside the tabulated grid falls back to RK4 at the engine
+layer.
+
+Fractional mismatch queries (``n_miss`` between grid points, used by
+variability analyses where an effective pull-down strength is not an
+integer) are answered by monotone piecewise-cubic interpolation
+(Fritsch-Carlson limited slopes), which preserves the monotone decay of
+``v_end`` versus ``n_miss`` -- an ordinary cubic spline can overshoot
+near the knee of the discharge curve and invert the sense decision.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..circuits.rc import discharge_waveform, discharge_waveform_batch
+from ..errors import KernelError
+
+
+def _monotone_slopes(y: np.ndarray) -> np.ndarray:
+    """Fritsch-Carlson tangents for unit-spaced knots.
+
+    Interior tangents are the harmonic mean of the adjacent secants
+    (zero across a local extremum), endpoints use the one-sided secant
+    limited to three times its neighbour -- the standard construction
+    that keeps the piecewise-cubic Hermite interpolant monotone on every
+    interval where the data are monotone.
+    """
+    n = y.size
+    m = np.zeros(n)
+    if n < 2:
+        return m
+    d = np.diff(y)  # secants on a unit grid
+    if n == 2:
+        m[:] = d[0]
+        return m
+    left, right = d[:-1], d[1:]
+    same_sign = (left * right) > 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        harmonic = 2.0 * left * right / (left + right)
+    m[1:-1] = np.where(same_sign, harmonic, 0.0)
+    m[0] = _limit_endpoint(d[0], m[1])
+    m[-1] = _limit_endpoint(d[-1], m[-2])
+    return m
+
+
+def _limit_endpoint(secant: float, interior: float) -> float:
+    """One-sided endpoint tangent with the Fritsch-Carlson limiter."""
+    tangent = (3.0 * secant - interior) / 2.0
+    if secant == 0.0 or tangent * secant < 0.0:
+        return 0.0
+    if abs(tangent) > 3.0 * abs(secant):
+        return 3.0 * secant
+    return float(tangent)
+
+
+class WaveformTable:
+    """Dense discharge-endpoint table for one sensing configuration.
+
+    One instance captures the electrical knobs of a precharge-style
+    match line (capacitance, cell I-V callables, precharge target,
+    evaluation window) and tabulates ``v(t_eval)`` for every mismatch
+    class on the ``driven x n_miss`` grid.  Rows materialize lazily (the
+    first query for a ``driven`` value integrates its whole class row in
+    one stacked RK4 pass) or eagerly via :meth:`precompute`.
+
+    Args:
+        capacitance: Match-line capacitance [F].
+        i_pulldown: Per-cell mismatch pull-down current ``i(v)`` [A].
+        i_leak: Per-cell matched-cell leakage current ``i(v)`` [A].
+        v_start: Precharge target the discharge starts from [V].
+        t_eval: Evaluation window (strobe time) [s].
+        max_driven: Largest tabulated ``driven_cols``; classes beyond it
+            are out-of-grid and must use the RK4 fallback.
+        n_steps: RK4 grid points over ``[0, t_eval]`` (the reference
+            integrator's 65-point grid by default).
+        v_floor: Clamp voltage of the discharge [V].
+    """
+
+    def __init__(
+        self,
+        capacitance: float,
+        i_pulldown: Callable[[float], float],
+        i_leak: Callable[[float], float],
+        v_start: float,
+        t_eval: float,
+        *,
+        max_driven: int,
+        n_steps: int = 65,
+        v_floor: float = 0.0,
+    ) -> None:
+        if capacitance <= 0.0:
+            raise KernelError(f"capacitance must be positive, got {capacitance}")
+        if t_eval <= 0.0:
+            raise KernelError(f"t_eval must be positive, got {t_eval}")
+        if max_driven < 0:
+            raise KernelError(f"max_driven must be >= 0, got {max_driven}")
+        if n_steps < 2:
+            raise KernelError(f"n_steps must be >= 2, got {n_steps}")
+        self.capacitance = capacitance
+        self.i_pulldown = i_pulldown
+        self.i_leak = i_leak
+        self.v_start = v_start
+        self.t_eval = t_eval
+        self.max_driven = int(max_driven)
+        self.n_steps = int(n_steps)
+        self.v_floor = v_floor
+        self._grid = np.linspace(0.0, t_eval, self.n_steps)
+        self._rows: dict[int, np.ndarray] = {}
+        self._slopes: dict[int, np.ndarray] = {}
+
+    # -- grid membership ---------------------------------------------------
+
+    def in_grid(self, n_miss: int, driven: int) -> bool:
+        """True when the class lies on the tabulated triangle."""
+        return 0 <= driven <= self.max_driven and 0 <= n_miss <= driven
+
+    @property
+    def rows_built(self) -> int:
+        """Number of ``driven`` rows materialized so far."""
+        return len(self._rows)
+
+    @property
+    def classes_tabulated(self) -> int:
+        """Number of ``(n_miss, driven)`` endpoints materialized so far."""
+        return sum(row.size for row in self._rows.values())
+
+    # -- construction ------------------------------------------------------
+
+    def _class_current(self, n_miss: int, n_match: int) -> Callable[[float], float]:
+        """Scalar composite current of one class (the reference arithmetic)."""
+        i_pulldown = self.i_pulldown
+        i_leak = self.i_leak
+
+        def current(v: float) -> float:
+            total = 0.0
+            if n_miss:
+                total += n_miss * i_pulldown(v)
+            if n_match:
+                total += n_match * i_leak(v)
+            return total
+
+        return current
+
+    def row(self, driven: int) -> np.ndarray:
+        """Endpoint row ``v_end[n_miss]`` for one ``driven`` value.
+
+        The row has ``driven + 1`` entries (``n_miss = 0 .. driven``),
+        integrated in one stacked RK4 pass whose per-class current sums
+        replicate the reference integrator's arithmetic term for term,
+        so each entry is bitwise equal to a standalone scalar RK4 run.
+        The returned array is read-only and cached.
+        """
+        if not 0 <= driven <= self.max_driven:
+            raise KernelError(
+                f"driven {driven} outside tabulated grid [0, {self.max_driven}]"
+            )
+        cached = self._rows.get(driven)
+        if cached is not None:
+            return cached
+        if driven == 0:
+            # A fully masked key drives no column: nothing can discharge
+            # the line and the endpoint is the precharge target itself.
+            out = np.array([self.v_start], dtype=float)
+        else:
+            i_pulldown = self.i_pulldown
+            i_leak = self.i_leak
+
+            def currents(v: np.ndarray) -> np.ndarray:
+                stacked = np.empty(driven + 1)
+                for k in range(driven + 1):
+                    v_k = float(v[k])
+                    n_miss = k
+                    n_match = driven - k
+                    total = 0.0
+                    if n_miss:
+                        total += n_miss * i_pulldown(v_k)
+                    if n_match:
+                        total += n_match * i_leak(v_k)
+                    stacked[k] = total
+                return stacked
+
+            out = discharge_waveform_batch(
+                self.capacitance,
+                currents,
+                np.full(driven + 1, self.v_start),
+                self._grid,
+                self.v_floor,
+            )
+        out.setflags(write=False)
+        self._rows[driven] = out
+        return out
+
+    def precompute(self, drivens: "range | list[int] | None" = None) -> None:
+        """Materialize rows eagerly (all of them by default)."""
+        if drivens is None:
+            drivens = range(self.max_driven + 1)
+        for d in drivens:
+            self.row(int(d))
+
+    # -- queries -----------------------------------------------------------
+
+    def v_end(self, n_miss: int, driven: int) -> float:
+        """Tabulated endpoint of one integer mismatch class [V]."""
+        if not self.in_grid(n_miss, driven):
+            raise KernelError(
+                f"class (n_miss={n_miss}, driven={driven}) outside the "
+                f"tabulated grid (max_driven={self.max_driven}); use the "
+                f"RK4 fallback"
+            )
+        return float(self.row(driven)[n_miss])
+
+    def v_end_interp(self, n_miss: float, driven: int) -> float:
+        """Endpoint for a *fractional* mismatch count [V].
+
+        Monotone piecewise-cubic (Fritsch-Carlson) interpolation along
+        the ``n_miss`` axis of one row: exact on the knots, monotone
+        between them, so an interpolated endpoint can never cross the
+        sense reference in the wrong direction relative to its
+        bracketing integer classes.
+        """
+        if not 0 <= driven <= self.max_driven:
+            raise KernelError(
+                f"driven {driven} outside tabulated grid [0, {self.max_driven}]"
+            )
+        if not 0.0 <= n_miss <= driven:
+            raise KernelError(
+                f"fractional n_miss {n_miss} outside [0, {driven}]"
+            )
+        row = self.row(driven)
+        if n_miss == int(n_miss):
+            return float(row[int(n_miss)])
+        slopes = self._slopes.get(driven)
+        if slopes is None:
+            slopes = _monotone_slopes(row)
+            self._slopes[driven] = slopes
+        i = int(np.floor(n_miss))
+        t = n_miss - i
+        y0, y1 = float(row[i]), float(row[i + 1])
+        m0, m1 = float(slopes[i]), float(slopes[i + 1])
+        h00 = (1.0 + 2.0 * t) * (1.0 - t) ** 2
+        h10 = t * (1.0 - t) ** 2
+        h01 = t * t * (3.0 - 2.0 * t)
+        h11 = t * t * (t - 1.0)
+        return h00 * y0 + h10 * m0 + h01 * y1 + h11 * m1
+
+    # -- validation --------------------------------------------------------
+
+    def validate(
+        self,
+        rtol: float = 1e-9,
+        drivens: "list[int] | None" = None,
+    ) -> float:
+        """Check tabulated endpoints against the scalar RK4 reference.
+
+        Every requested class (all materialized rows by default; rows
+        are materialized on demand when ``drivens`` is given) is
+        re-integrated with :func:`~repro.circuits.rc.discharge_waveform`
+        and compared.  Returns the worst relative error and raises when
+        it exceeds ``rtol``.
+
+        The table is built through the stacked integrator's elementwise-
+        identical arithmetic, so the expected error is exactly 0.0; a
+        nonzero value indicates the two integration paths diverged and
+        the ``<= 1e-9`` budget bounds how far the sensing decisions
+        could drift before this check fails the build.
+        """
+        if drivens is None:
+            if not self._rows:
+                self.precompute()
+            drivens = sorted(self._rows)
+        worst = 0.0
+        for d in drivens:
+            row = self.row(int(d))
+            for n_miss in range(int(d) + 1):
+                current = self._class_current(n_miss, int(d) - n_miss)
+                reference = float(
+                    discharge_waveform(
+                        self.capacitance,
+                        current,
+                        self.v_start,
+                        self._grid,
+                        self.v_floor,
+                    )[-1]
+                )
+                got = float(row[n_miss])
+                denom = max(abs(reference), 1e-30)
+                err = abs(got - reference) / denom
+                worst = max(worst, err)
+        if worst > rtol:
+            raise KernelError(
+                f"waveform table diverged from the RK4 reference: worst "
+                f"relative error {worst:.3e} exceeds rtol {rtol:.1e}"
+            )
+        return worst

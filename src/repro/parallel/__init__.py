@@ -9,23 +9,41 @@ span per chunk) so the span-sum==ledger invariant survives the process
 boundary.  Falls back to in-process serial execution whenever
 ``workers <= 1``, the function/payloads do not pickle, or the pool
 cannot start.  See DESIGN.md §8.
+
+Two transports move chunk data (§11.4): pickle (:func:`scatter_gather`)
+copies each chunk's payload whole, while :func:`scatter_gather_shared`
+places bulk arrays in ``multiprocessing.shared_memory`` segments once
+and pickles only per-chunk metadata.  Worker pools are kept warm across
+calls (:func:`shutdown_pools` tears them down) and every fan-out records
+what crossed the process boundary (:func:`last_payload_stats`).
 """
 
 from .executor import (
     available_cpus,
+    last_payload_stats,
     map_chunks,
     resolve_workers,
     scatter_gather,
+    scatter_gather_shared,
+    shutdown_pools,
 )
 from .seeding import DEFAULT_CHUNKS, chunk_bounds, default_chunk_size, spawn_seeds
+from .shm import ShmSpec, SharedArena, attached, shared_memory_available
 
 __all__ = [
     "DEFAULT_CHUNKS",
+    "SharedArena",
+    "ShmSpec",
+    "attached",
     "available_cpus",
     "chunk_bounds",
     "default_chunk_size",
+    "last_payload_stats",
     "map_chunks",
     "resolve_workers",
     "scatter_gather",
+    "scatter_gather_shared",
+    "shared_memory_available",
+    "shutdown_pools",
     "spawn_seeds",
 ]

@@ -31,21 +31,42 @@ spans and runs the function inline, producing an identical tree shape.
 Serial fallback triggers: ``workers <= 1``, a single payload, a worker
 function or payload that does not pickle (lambdas, closures), or a pool
 that cannot start / dies (``BrokenProcessPool`` / ``OSError``).
+
+Transports
+----------
+Pools are *warm*: one ``ProcessPoolExecutor`` per worker count is kept
+alive across calls (``shutdown_pools`` tears them down, and runs
+atexit), so repeated fan-outs do not pay process start-up each time.
+Two transports move the data:
+
+* pickle (:func:`scatter_gather`) -- each chunk's payload is serialized
+  whole; simple, but bulk arrays are copied once per chunk.
+* shared memory (:func:`scatter_gather_shared`) -- bulk arrays are
+  placed in named segments once (:mod:`repro.parallel.shm`) and chunks
+  pickle only their metadata.
+
+Both record what actually crossed the process boundary: the
+``parallel.payload_bytes`` metric histogram and
+:func:`last_payload_stats`.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, TypeVar
+
+import numpy as np
 
 from .. import obs
 from ..obs.metrics import MetricsRegistry
 from ..obs.span import Span
 from .seeding import chunk_bounds, default_chunk_size
+from .shm import SharedArena, ShmSpec, attached, shared_memory_available
 
 _P = TypeVar("_P")
 _R = TypeVar("_R")
@@ -64,6 +85,72 @@ def resolve_workers(workers: int | None) -> int:
     if workers is None:
         return 1
     return max(1, int(workers))
+
+
+# -- warm pool cache -------------------------------------------------------
+
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(n_workers: int) -> ProcessPoolExecutor:
+    """A warm pool of ``n_workers`` processes (created on first use)."""
+    pool = _POOLS.get(n_workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        _POOLS[n_workers] = pool
+    return pool
+
+
+def _discard_pool(n_workers: int) -> None:
+    """Drop a (presumably broken) pool from the cache and shut it down."""
+    pool = _POOLS.pop(n_workers, None)
+    if pool is not None:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - best effort on a dead pool
+            pass
+
+
+def shutdown_pools() -> None:
+    """Shut down every warm worker pool (also runs atexit)."""
+    for n_workers in list(_POOLS):
+        _discard_pool(n_workers)
+
+
+atexit.register(shutdown_pools)
+
+
+# -- payload accounting ----------------------------------------------------
+
+_LAST_PAYLOAD_STATS: dict | None = None
+
+
+def last_payload_stats() -> dict | None:
+    """What the most recent scatter/gather shipped across processes.
+
+    ``None`` until a fan-out has run; otherwise a dict with the
+    ``transport`` used (``"pickle"`` / ``"shm"`` / ``"serial"``), the
+    pickled ``chunk_bytes`` per chunk, the once-only ``shared_bytes``
+    (shm transport) and their ``total_bytes``.  Serial runs ship
+    nothing, so both byte figures are zero.
+    """
+    return _LAST_PAYLOAD_STATS
+
+
+def _record_payload_stats(
+    transport: str, chunk_bytes: list[int], shared_bytes: int = 0
+) -> None:
+    global _LAST_PAYLOAD_STATS
+    # Deliberately not booked into the MetricsRegistry: metric snapshots
+    # are bit-identical across worker counts (a tested invariant), and
+    # payload sizes are inherently transport-dependent.
+    _LAST_PAYLOAD_STATS = {
+        "transport": transport,
+        "chunks": len(chunk_bytes),
+        "chunk_bytes": list(chunk_bytes),
+        "shared_bytes": int(shared_bytes),
+        "total_bytes": int(sum(chunk_bytes)) + int(shared_bytes),
+    }
 
 
 def _run_chunk(fn: Callable[[_P], _R], payload: _P) -> tuple[_R, list[Span], MetricsRegistry]:
@@ -131,22 +218,131 @@ def scatter_gather(
         return []
     n_workers = min(resolve_workers(workers), len(payloads))
     if n_workers <= 1:
+        _record_payload_stats("serial", [0] * len(payloads))
         return _serial(fn, payloads, span_prefix)
     try:
-        pickle.dumps((fn, payloads))
+        pickle.dumps(fn)
+        chunk_bytes = [len(pickle.dumps(p)) for p in payloads]
     except Exception:
         return _serial(fn, payloads, span_prefix)
     try:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [pool.submit(_run_chunk, fn, p) for p in payloads]
-            # Two-phase: gather every worker result before touching the
-            # parent span tree, so a mid-flight failure (which raises out
-            # of this block) cannot leave a half-grafted tree behind.
-            gathered = [future.result() for future in futures]
+        pool = _get_pool(n_workers)
+        futures = [pool.submit(_run_chunk, fn, p) for p in payloads]
+        # Two-phase: gather every worker result before touching the
+        # parent span tree, so a mid-flight failure (which raises out
+        # of this block) cannot leave a half-grafted tree behind.
+        gathered = [future.result() for future in futures]
     except (BrokenProcessPool, OSError):
         # The pool itself died (fork failure, resource limits).  Workers
         # are pure, so rerunning everything serially is safe.
+        _discard_pool(n_workers)
         return _serial(fn, payloads, span_prefix)
+    _record_payload_stats("pickle", chunk_bytes)
+    return _graft(gathered, span_prefix)
+
+
+def _run_chunk_shared(
+    fn: Callable[[Mapping[str, np.ndarray], _P], _R],
+    specs: dict[str, ShmSpec],
+    meta: _P,
+) -> tuple[_R, list[Span], MetricsRegistry]:
+    """Worker-side wrapper of the shared-memory transport.
+
+    Maps the shared arrays, runs ``fn`` under a fresh obs session, and
+    unmaps before returning -- anything the worker wants to keep must be
+    copied out of the views (results are pickled back, which copies).
+    """
+    with obs.observe() as session:
+        with attached(specs) as views:
+            result = fn(views, meta)
+    return result, session.tracer.roots, session.metrics
+
+
+def _serial_shared(
+    fn: Callable[[Mapping[str, np.ndarray], _P], _R],
+    arrays: Mapping[str, np.ndarray],
+    metas: Sequence[_P],
+    span_prefix: str,
+) -> list[_R]:
+    """In-process shared-transport execution: zero copies, same spans."""
+    results: list[_R] = []
+    for i, meta in enumerate(metas):
+        with obs.span(f"{span_prefix}.chunk[{i}]"):
+            results.append(fn(arrays, meta))
+    return results
+
+
+def scatter_gather_shared(
+    fn: Callable[[Mapping[str, np.ndarray], _P], _R],
+    arrays: Mapping[str, np.ndarray],
+    metas: Iterable[_P],
+    *,
+    workers: int | None = 0,
+    span_prefix: str = "parallel",
+) -> list[_R]:
+    """Fan ``fn`` out over chunks that share bulk arrays via shared memory.
+
+    The arrays are copied into named shared-memory segments **once**;
+    each chunk then pickles only ``(segment specs, meta)``, so per-chunk
+    IPC cost is independent of the bulk size.  Workers receive read-only
+    views -- ``fn`` must treat the array mapping as immutable (the
+    serial path hands it the caller's arrays directly, zero-copy).
+
+    Args:
+        fn: Pure picklable function ``fn(views, meta) -> result`` where
+            ``views`` maps each key of ``arrays`` to an ``np.ndarray``.
+            Must not return anything referencing the views.
+        arrays: Bulk read-only arrays shared by every chunk.
+        metas: One (small, picklable) metadata object per chunk.
+        workers: Process count; ``<= 1`` runs serially in-process.
+        span_prefix: Span-name prefix for the per-chunk grafting spans.
+
+    Returns:
+        ``[fn(arrays, m) for m in metas]`` in meta order -- bit-identical
+        to serial for any worker count, by the purity contract.
+
+    Falls back to the serial path when shared memory is unavailable,
+    ``fn``/``metas`` do not pickle, segment allocation fails, or the
+    pool dies.  The arena is closed and unlinked in a ``finally``, so
+    neither a worker exception nor an interrupt leaks ``/dev/shm``
+    segments (an ``atexit`` sweep covers even harder exits).
+    """
+    metas = list(metas)
+    if not metas:
+        return []
+    n_workers = min(resolve_workers(workers), len(metas))
+    if n_workers <= 1 or not shared_memory_available():
+        _record_payload_stats("serial", [0] * len(metas))
+        return _serial_shared(fn, arrays, metas, span_prefix)
+    try:
+        pickle.dumps(fn)
+        chunk_bytes = [len(pickle.dumps(m)) for m in metas]
+    except Exception:
+        return _serial_shared(fn, arrays, metas, span_prefix)
+    arena = None
+    try:
+        try:
+            arena = SharedArena()
+            for key, array in arrays.items():
+                arena.share(key, np.asarray(array))
+        except OSError:
+            # Segment allocation failed (/dev/shm full or absent); the
+            # data never left this process, so run in-process instead.
+            return _serial_shared(fn, arrays, metas, span_prefix)
+        specs = arena.specs
+        try:
+            pool = _get_pool(n_workers)
+            futures = [
+                pool.submit(_run_chunk_shared, fn, specs, meta) for meta in metas
+            ]
+            gathered = [future.result() for future in futures]
+        except (BrokenProcessPool, OSError):
+            _discard_pool(n_workers)
+            return _serial_shared(fn, arrays, metas, span_prefix)
+        _record_payload_stats("shm", chunk_bytes, shared_bytes=arena.nbytes())
+    finally:
+        if arena is not None:
+            arena.close()
     return _graft(gathered, span_prefix)
 
 

@@ -1,0 +1,203 @@
+"""Shared-memory array transport for the parallel layer.
+
+:func:`~repro.parallel.executor.scatter_gather` ships every chunk's
+arrays through pickle, which serializes and copies the same bulk data
+once per chunk.  This module moves the bulk to POSIX shared memory
+(`multiprocessing.shared_memory`): the parent copies each array into a
+named segment **once**, workers receive only the segment *names plus
+layout* (:class:`ShmSpec`) and map the bytes in place -- so the pickled
+payload per chunk shrinks to the chunk's metadata.
+
+Cleanup semantics
+-----------------
+Segments outlive processes unless explicitly unlinked, so leak safety
+is layered:
+
+* every :class:`SharedArena` is closed-and-unlinked in a ``finally``
+  around the scatter/gather that created it;
+* live arenas are tracked in a module-level ``WeakSet`` and an
+  ``atexit`` hook unlinks whatever is left, so an interrupted campaign
+  (KeyboardInterrupt, ``sys.exit``) cannot strand ``/dev/shm`` segments;
+* :meth:`SharedArena.close` is idempotent and tolerates views that are
+  still alive (``BufferError`` on ``close`` is swallowed; ``unlink``
+  always runs -- on Linux the kernel frees the pages once the last
+  mapping drops).
+
+Workers attach read-only through :func:`attached`, which keeps the
+attachment out of the child's ``resource_tracker`` -- without that,
+pre-3.13 children "helpfully" unlink the parent's segments when they
+exit, destroying them mid-gather.
+"""
+
+from __future__ import annotations
+
+import atexit
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParallelError
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - stripped-down interpreters
+    resource_tracker = None
+    shared_memory = None
+
+
+def shared_memory_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` is importable."""
+    return shared_memory is not None
+
+
+@dataclass(frozen=True)
+class ShmSpec:
+    """Name + layout of one shared array.
+
+    This is the only thing that crosses the pickle boundary per array:
+    the worker rebuilds a zero-copy ``np.ndarray`` over the named
+    segment from it.
+
+    Attributes:
+        name: Shared-memory segment name (``/dev/shm`` entry on Linux).
+        shape: Array shape.
+        dtype: Array dtype string (``np.dtype.str``, endian-explicit).
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+_ARENAS: "weakref.WeakSet[SharedArena]" = weakref.WeakSet()
+
+
+def _cleanup_arenas() -> None:  # pragma: no cover - exercised via atexit test
+    """Unlink every arena still alive at interpreter shutdown."""
+    for arena in list(_ARENAS):
+        arena.close()
+
+
+atexit.register(_cleanup_arenas)
+
+
+class SharedArena:
+    """Owns the shared-memory segments of one scatter/gather call.
+
+    ``share`` copies arrays in; ``close`` unlinks everything.  The arena
+    registers itself with the module's atexit sweep at construction, so
+    even an arena whose owning call never reaches its ``finally`` block
+    is reclaimed at interpreter exit.
+    """
+
+    def __init__(self) -> None:
+        if shared_memory is None:
+            raise ParallelError("multiprocessing.shared_memory is unavailable")
+        self._segments: list = []
+        self._specs: dict[str, ShmSpec] = {}
+        self._closed = False
+        _ARENAS.add(self)
+
+    def share(self, key: str, array: np.ndarray) -> ShmSpec:
+        """Copy ``array`` into a fresh segment and return its spec."""
+        if self._closed:
+            raise ParallelError("arena is closed")
+        arr = np.ascontiguousarray(array)
+        seg = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+        try:
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+            view[...] = arr
+            del view  # drop the buffer export so close() can succeed
+        except BaseException:
+            seg.close()
+            seg.unlink()
+            raise
+        self._segments.append(seg)
+        spec = ShmSpec(name=seg.name, shape=tuple(arr.shape), dtype=arr.dtype.str)
+        self._specs[key] = spec
+        return spec
+
+    @property
+    def specs(self) -> dict[str, ShmSpec]:
+        """Specs of every shared array, by key."""
+        return dict(self._specs)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def nbytes(self) -> int:
+        """Total bytes held in shared segments."""
+        return sum(seg.size for seg in self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments:
+            try:
+                seg.close()
+            except BufferError:  # a view is still alive; unlink regardless
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # already reclaimed (e.g. atexit raced)
+                pass
+        self._segments.clear()
+        _ARENAS.discard(self)
+
+
+def _attach_untracked(name: str):
+    """Attach to a named segment without resource-tracker registration.
+
+    Pre-3.13 ``SharedMemory`` registers *attachments* with the resource
+    tracker too, so a worker's tracker could unlink the parent-owned
+    segment behind its back (and a later ``unregister`` races other
+    workers' registrations of the same name, spamming tracker
+    ``KeyError`` tracebacks).  Ownership -- and the unlink duty -- stays
+    with the parent's :class:`SharedArena`, so attachments suppress
+    registration outright, which is also what ``track=False`` does on
+    3.13+.  Workers handle tasks sequentially, so the brief patch cannot
+    race another attach in the same process.
+    """
+    if resource_tracker is None:  # pragma: no cover
+        return shared_memory.SharedMemory(name=name)
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@contextmanager
+def attached(specs: dict[str, ShmSpec]):
+    """Map the arrays behind ``specs`` read-only; detach on exit.
+
+    Yields ``{key: np.ndarray}`` views over the named segments.  The
+    views become invalid when the context exits -- workers must copy
+    anything they return.
+    """
+    if shared_memory is None:
+        raise ParallelError("multiprocessing.shared_memory is unavailable")
+    segments = []
+    try:
+        views: dict[str, np.ndarray] = {}
+        for key, spec in specs.items():
+            seg = _attach_untracked(spec.name)
+            segments.append(seg)
+            view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf)
+            view.setflags(write=False)
+            views[key] = view
+        yield views
+    finally:
+        views = None
+        for seg in segments:
+            try:
+                seg.close()
+            except BufferError:  # caller still holds a view; mapping dies with us
+                pass

@@ -36,7 +36,13 @@ from ..circuits.wire import M2_WIRE, M4_WIRE, WireModel
 from ..energy.accounting import EnergyComponent, EnergyLedger
 from ..errors import TCAMError
 from ..faults.faultmap import FaultKind, FaultMap
-from ..parallel import chunk_bounds, default_chunk_size, resolve_workers, scatter_gather
+from ..parallel import (
+    chunk_bounds,
+    default_chunk_size,
+    resolve_workers,
+    scatter_gather,
+    scatter_gather_shared,
+)
 from .area import TECH_45NM, TechNode, cell_dimensions
 from .cell import CellDescriptor
 from .mlcache import TrajectoryCache
@@ -84,24 +90,44 @@ def _integrate_class_chunk(
     return [array._race_class(n_miss, driven) for n_miss, driven in pairs]
 
 
-def _assemble_chunk(
-    payload: tuple["TCAMArray", np.ndarray, float, list[tuple]],
-) -> list["SearchOutcome"]:
-    """Assemble one chunk of batch outcomes (pure worker fn).
+def _assemble_chunk_shared(views, meta) -> list["SearchOutcome"]:
+    """Assemble one chunk of batch outcomes (pure shared-transport worker).
 
-    Each item carries everything :meth:`TCAMArray._assemble_outcome`
-    needs, including the pre-fetched class results, so the worker never
-    touches a trajectory cache and re-running it (serial fallback) has
-    no side effects.
+    The bulk per-key state -- mismatch matrix, dense per-class count
+    matrices, toggle/driven vectors and the active mask -- arrives as
+    read-only shared-memory ``views``; the pickled ``meta`` carries only
+    the array model, the chunk's class results and its key bounds.  The
+    per-key ``unique`` class vector is rebuilt from the dense counts:
+    classes whose active *and* valid counts are both zero are dropped,
+    which is outcome-identical because :meth:`TCAMArray._assemble_outcome`
+    skips zero-count entries in every loop.  The worker never touches a
+    trajectory cache, so re-running it (serial fallback) has no side
+    effects.
     """
-    array, active, e_toggle, items = payload
+    array, e_toggle, class_results_by_pair, lo, hi = meta
+    active = views["active"]
     outcomes = []
-    for n_toggles, miss, unique, counts_active, counts_valid, class_results in items:
+    for k in range(lo, hi):
+        dense_active = views["counts_active"][k]
+        dense_valid = views["counts_valid"][k]
+        unique = np.flatnonzero((dense_active != 0) | (dense_valid != 0))
+        driven = int(views["driven"][k])
+        class_results = {
+            int(n): class_results_by_pair[(int(n), driven)]
+            for n, c in zip(unique, dense_active[unique])
+            if c
+        }
         ledger = EnergyLedger()
-        ledger.add(EnergyComponent.SEARCHLINE, n_toggles * e_toggle)
+        ledger.add(EnergyComponent.SEARCHLINE, int(views["toggles"][k]) * e_toggle)
         outcomes.append(
             array._assemble_outcome(
-                ledger, miss, active, unique, counts_active, counts_valid, class_results
+                ledger,
+                views["miss"][k],
+                active,
+                unique,
+                dense_active[unique],
+                dense_valid[unique],
+                class_results,
             )
         )
     return outcomes
@@ -258,6 +284,11 @@ class TCAMArray:
         ml_wire: Match-line routing layer.
         sl_wire: Search-line routing layer.
         encoder: Priority encoder; defaults to one sized for ``rows``.
+        use_kernel: Enable the compiled search kernel (tabulated
+            discharge endpoints + SoA batch state, see
+            :mod:`repro.kernels`) for ``search_batch``; equivalent to
+            calling :meth:`enable_kernel` after construction.  The
+            scalar :meth:`search` always keeps the reference path.
     """
 
     def __init__(
@@ -274,6 +305,7 @@ class TCAMArray:
         ml_wire: WireModel = M2_WIRE,
         sl_wire: WireModel = M4_WIRE,
         encoder: PriorityEncoder | None = None,
+        use_kernel: bool = False,
     ) -> None:
         if sensing not in _SENSING_STYLES:
             raise TCAMError(f"sensing must be one of {_SENSING_STYLES}, got {sensing!r}")
@@ -293,6 +325,13 @@ class TCAMArray:
         self._faults: FaultMap | None = None
         self._faults_seen_version = -1
         self._faults_empty = True
+        # Compiled-kernel state: the engine compiles per-class sensing
+        # tables that survive writes; the SoA snapshot tracks stored
+        # content through this version counter (bumped by every write /
+        # invalidate / fault-map change).
+        self._content_version = 0
+        self._kernel = None
+        self._soa = None
 
         cell_w, cell_h = cell_dimensions(cell.area_f2, geometry.node)
         self.cell_width = cell_w
@@ -344,6 +383,9 @@ class TCAMArray:
                 raise TCAMError(f"t_eval must be positive, got {self.t_eval}")
         else:
             self.t_eval = self.race_amp.cutoff_time(self.c_ml)
+
+        if use_kernel:
+            self.enable_kernel()
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -417,6 +459,7 @@ class TCAMArray:
         """
         self._check_row(row)
         self._ml_cache.invalidate()
+        self._content_version += 1
         if len(word) != self.geometry.cols:
             raise TCAMError(
                 f"word width {len(word)} does not match array cols {self.geometry.cols}"
@@ -450,6 +493,7 @@ class TCAMArray:
         """
         self._check_row(row)
         self._ml_cache.invalidate()
+        self._content_version += 1
         self._stored[row] = int(Trit.X)
         self._valid[row] = False
 
@@ -503,6 +547,7 @@ class TCAMArray:
             self._faults_seen_version = faults.version
             self._faults_empty = faults.is_empty()
         self._ml_cache.invalidate()
+        self._content_version += 1
 
     def detach_faults(self) -> None:
         """Remove the attached defect map (flushes the trajectory cache)."""
@@ -525,6 +570,7 @@ class TCAMArray:
             return False
         if fm.version != self._faults_seen_version:
             self._ml_cache.invalidate()
+            self._content_version += 1
             self._faults_seen_version = fm.version
             self._faults_empty = fm.is_empty()
         return not self._faults_empty
@@ -872,6 +918,11 @@ class TCAMArray:
         ) as sp:
             m = obs.metrics()
             cache_before = self._cache_counters() if m is not None else None
+            kernel_before = (
+                (self._kernel.table_hits, self._kernel.rk4_fallbacks)
+                if m is not None and self._kernel is not None
+                else None
+            )
             outcomes = self._search_batch_impl(keys, row_mask, workers=workers)
             if sp is not None:
                 ledger = EnergyLedger.sum(o.energy for o in outcomes)
@@ -879,6 +930,8 @@ class TCAMArray:
                 self._book_batch_metrics(len(keys), ledger)
             if m is not None:
                 self._book_cache_metrics(m, cache_before)
+                if kernel_before is not None and self._kernel is not None:
+                    self._book_kernel_metrics(m, kernel_before)
             return outcomes
 
     def _search_batch_impl(
@@ -909,6 +962,14 @@ class TCAMArray:
                 raise TCAMError(
                     f"row_mask must have shape ({self.geometry.rows},), got {active.shape}"
                 )
+
+        if self._kernel is not None:
+            soa = self._soa_state()
+            if soa.is_uniform():
+                # The compiled path is already a handful of fused numpy
+                # ops; the RK4 fan-out that ``workers`` parallelizes
+                # does not exist here, so the batch runs in-process.
+                return self._search_batch_kernel(packed, active, soa)
 
         miss_all = mismatch_counts_batch(self._stored, packed)
         driven_all = np.count_nonzero(packed != int(Trit.X), axis=1)
@@ -985,7 +1046,10 @@ class TCAMArray:
         count) and installed here in :meth:`_fill_class_cache` order, and
         the per-key class fetches below run in serial key order -- so the
         cache's LRU state and hit/miss counters match a serial run
-        exactly.  Only side-effect-free work crosses the process boundary.
+        exactly.  Only side-effect-free work crosses the process boundary,
+        and the bulk of it (mismatch matrix, dense per-class counts,
+        toggle/driven vectors) crosses once via shared memory; each chunk
+        pickles only the array model, its class results and key bounds.
         """
         if needed:
             bounds = chunk_bounds(len(needed), default_chunk_size(len(needed)))
@@ -999,28 +1063,43 @@ class TCAMArray:
                 for pair, result in zip(needed[lo:hi], chunk):
                     self._ml_cache.put(self._class_cache_key(pair), result)
 
-        items = []
+        # Serial-key-order cache fetches (cache counter/LRU semantics),
+        # then densify the per-key class counts so the per-chunk payload
+        # no longer carries per-key arrays.
+        n_keys = len(per_key)
+        cols = self.geometry.cols
+        per_key_classes: list[dict[tuple[int, int], object]] = []
+        dense_active = np.zeros((n_keys, cols + 1), dtype=np.int64)
+        dense_valid = np.zeros((n_keys, cols + 1), dtype=np.int64)
         for k, (unique, counts_active, counts_valid) in enumerate(per_key):
             driven = int(driven_all[k])
-            class_results = {
-                int(n): self._cached_class(int(n), driven)
-                for n, c in zip(unique, counts_active)
-                if c
-            }
-            items.append(
-                (
-                    int(toggles[k]),
-                    miss_all[k],
-                    unique,
-                    counts_active,
-                    counts_valid,
-                    class_results,
-                )
+            per_key_classes.append(
+                {
+                    (int(n), driven): self._cached_class(int(n), driven)
+                    for n, c in zip(unique, counts_active)
+                    if c
+                }
             )
-        bounds = chunk_bounds(len(items), default_chunk_size(len(items)))
-        chunks = scatter_gather(
-            _assemble_chunk,
-            [(self, active, e_toggle, items[lo:hi]) for lo, hi in bounds],
+            dense_active[k, unique] = counts_active
+            dense_valid[k, unique] = counts_valid
+
+        metas = []
+        for lo, hi in chunk_bounds(n_keys, default_chunk_size(n_keys)):
+            class_results: dict[tuple[int, int], object] = {}
+            for k in range(lo, hi):
+                class_results.update(per_key_classes[k])
+            metas.append((self, e_toggle, class_results, lo, hi))
+        chunks = scatter_gather_shared(
+            _assemble_chunk_shared,
+            {
+                "miss": miss_all,
+                "counts_active": dense_active,
+                "counts_valid": dense_valid,
+                "toggles": toggles,
+                "driven": driven_all,
+                "active": active,
+            },
+            metas,
             workers=workers,
             span_prefix="array.assemble",
         )
@@ -1128,6 +1207,264 @@ class TCAMArray:
                 result = self._race_class(n_miss, driven_cols)
             self._ml_cache.put(key, result)
         return result
+
+    # -- compiled kernel -------------------------------------------------------
+
+    def enable_kernel(self, *, max_driven: int | None = None):
+        """Compile and attach the kernel search path (see :mod:`repro.kernels`).
+
+        Once enabled, :meth:`search_batch` answers mismatch classes from
+        tabulated discharge endpoints (validated against the RK4
+        reference) and assembles outcomes through fused numpy gathers;
+        results stay bit-identical to the legacy path.  Keys driving
+        more than ``max_driven`` columns fall back to the RK4 reference
+        per key.  The scalar :meth:`search`, fault-injected batches and
+        :meth:`nearest_match_batch` always keep the reference path.
+
+        Args:
+            max_driven: Largest tabulated ``driven_cols`` (defaults to
+                the array width, i.e. no fallback ever triggers).
+
+        Returns:
+            The attached :class:`~repro.kernels.KernelEngine`.
+        """
+        from ..kernels import KernelEngine
+
+        self._kernel = KernelEngine(self, max_driven=max_driven)
+        self._soa = None
+        return self._kernel
+
+    def disable_kernel(self) -> None:
+        """Detach the kernel; ``search_batch`` reverts to the legacy path."""
+        self._kernel = None
+        self._soa = None
+
+    @property
+    def kernel(self):
+        """The attached :class:`~repro.kernels.KernelEngine`, or ``None``."""
+        return self._kernel
+
+    def _soa_state(self):
+        """Current-content SoA snapshot, rebuilt when the version moves."""
+        from ..kernels import SoAState
+
+        soa = self._soa
+        if soa is None or soa.version != self._content_version:
+            soa = SoAState.from_array(self, self._content_version)
+            self._soa = soa
+        return soa
+
+    def _book_kernel_metrics(self, m, before: tuple[int, int]) -> None:
+        """Delta-sync kernel counters accrued since ``before`` (cf.
+        :meth:`_book_cache_metrics`)."""
+        eng = self._kernel
+        after = (eng.table_hits, eng.rk4_fallbacks)
+        for name, prev, now in zip(
+            ("kernels.table_hits", "kernels.rk4_fallbacks"), before, after
+        ):
+            m.counter(name).inc(now - prev)
+
+    def _assemble_key_legacy(
+        self,
+        miss: np.ndarray,
+        driven: int,
+        n_toggles: int,
+        e_toggle: float,
+        active: np.ndarray,
+    ) -> tuple[SearchOutcome, int]:
+        """Reference-path assembly of one key (kernel out-of-grid fallback).
+
+        Byte-for-byte the serial batch loop body: class grouping by
+        ``np.unique``, class results through the trajectory cache (RK4
+        on miss) and :meth:`_assemble_outcome`.  Returns the outcome and
+        the number of classes served, which the caller books as RK4
+        fallbacks.
+        """
+        unique, inverse = np.unique(miss, return_inverse=True)
+        counts_active = np.bincount(inverse[active], minlength=unique.size)
+        counts_valid = np.bincount(inverse[self._valid], minlength=unique.size)
+        ledger = EnergyLedger()
+        ledger.add(EnergyComponent.SEARCHLINE, n_toggles * e_toggle)
+        class_results = {
+            int(n): self._cached_class(int(n), driven)
+            for n, c in zip(unique, counts_active)
+            if c
+        }
+        outcome = self._assemble_outcome(
+            ledger, miss, active, unique, counts_active, counts_valid, class_results
+        )
+        return outcome, len(class_results)
+
+    def _search_batch_kernel(
+        self, packed: np.ndarray, active: np.ndarray, soa
+    ) -> list[SearchOutcome]:
+        """Kernel tail of :meth:`_search_batch_impl`: fused numpy assembly.
+
+        Mismatch counts come from the SoA matmul (exact integer float32
+        accumulation), per-(key, class) row counts from one offset
+        bincount per row subset, and per-class sensing quantities from
+        the compiled tables by fancy indexing.  Per-key ledger sums use
+        ``np.add.reduceat`` / ``np.maximum.reduceat``, whose strictly
+        left-to-right in-segment accumulation reproduces the legacy
+        per-class ``ledger.add`` loop bit for bit (classes appear in
+        ascending ``n_miss`` order in both).  Keys driving more columns
+        than the tabulated grid take :meth:`_assemble_key_legacy`.
+        """
+        eng = self._kernel
+        rows, cols = self.geometry.rows, self.geometry.cols
+        n_keys = packed.shape[0]
+        with obs.span(
+            "array.kernel_batch", n_keys=n_keys, sensing=self.sensing
+        ) as sp:
+            miss_all = soa.mismatch_counts(packed)
+            driven_all = np.count_nonzero(packed != int(Trit.X), axis=1)
+            toggles = self._batch_toggles(packed)
+            e_toggle = self.search_line.toggle_energy(self.cell.v_search)
+            outcomes: list[SearchOutcome | None] = [None] * n_keys
+            any_active = bool(np.any(active))
+            sl_delay = self.sl_settle_delay
+            enc_energy = self.encoder.energy_per_search
+            enc_delay = self.encoder.delay
+            # Exactly the legacy leakage expression sans the trailing
+            # ``* cycle_time`` factor (left-associative, so the prefix
+            # product is a common subexpression).
+            k_leak = (
+                self.geometry.rows
+                * self.geometry.cols
+                * self.cell.standby_leakage(self.vdd)
+                * self.vdd
+            )
+
+            # Dense per-(key, class) row counts over the active and valid
+            # row subsets: one offset bincount each.
+            n_classes = cols + 1
+            offsets = miss_all + (np.arange(n_keys) * n_classes)[:, np.newaxis]
+            counts_active = np.bincount(
+                offsets[:, active].ravel(), minlength=n_keys * n_classes
+            ).reshape(n_keys, n_classes)
+            counts_valid = np.bincount(
+                offsets[:, self._valid].ravel(), minlength=n_keys * n_classes
+            ).reshape(n_keys, n_classes)
+
+            if not any_active:
+                # No row is sensed: only SL, encoder and leakage book.
+                if self.sensing == "precharge":
+                    t_sense = t_cycle = self.t_eval
+                else:
+                    t_sense = t_cycle = self.race_amp.t_window
+                search_delay = sl_delay + t_sense + enc_delay
+                cycle_time = sl_delay + t_cycle
+                leak = k_leak * cycle_time
+                for k in range(n_keys):
+                    ledger = EnergyLedger()
+                    ledger.add(EnergyComponent.SEARCHLINE, int(toggles[k]) * e_toggle)
+                    ledger.add(EnergyComponent.PRIORITY_ENCODER, enc_energy)
+                    ledger.add(EnergyComponent.LEAKAGE, leak)
+                    nz = np.flatnonzero(counts_valid[k])
+                    outcomes[k] = SearchOutcome(
+                        match_mask=np.zeros(rows, dtype=bool),
+                        first_match=None,
+                        energy=ledger,
+                        search_delay=search_delay,
+                        cycle_time=cycle_time,
+                        miss_histogram={
+                            int(n): int(counts_valid[k, n]) for n in nz
+                        },
+                        functional_errors=0,
+                    )
+                return outcomes
+
+            # Out-of-grid keys: reference path, booked as RK4 fallbacks.
+            in_grid = driven_all <= eng.max_driven
+            fallback_idx = np.flatnonzero(~in_grid)
+            for k in fallback_idx:
+                k = int(k)
+                outcome, n_served = self._assemble_key_legacy(
+                    miss_all[k], int(driven_all[k]), int(toggles[k]), e_toggle, active
+                )
+                eng.rk4_fallbacks += n_served
+                outcomes[k] = outcome
+
+            from ..kernels import sequential_segment_sum
+
+            idx = np.flatnonzero(in_grid)
+            av = active & self._valid
+            for d in np.unique(driven_all[idx]):
+                grp = idx[driven_all[idx] == d]
+                row = eng.row(int(d))
+                ca = counts_active[grp]
+                kk, nn = np.nonzero(ca)  # row-major: per key, ascending class
+                eng.table_hits += int(kk.size)
+                cnt = ca[kk, nn].astype(np.float64)
+                bounds = np.searchsorted(kk, np.arange(grp.size + 1))
+                seg, seg_ends = bounds[:-1], bounds[1:]
+                if self.sensing == "precharge":
+                    e_pre = sequential_segment_sum(cnt * row.e_restore[nn], seg, seg_ends)
+                    e_diss = sequential_segment_sum(cnt * row.e_diss[nn], seg, seg_ends)
+                    e_sa = sequential_segment_sum(cnt * row.e_sense[nn], seg, seg_ends)
+                    # Max reductions are order-independent selections, so
+                    # reduceat is exact here.
+                    t_sa = np.maximum.reduceat(row.t_sense[nn], seg)
+                    t_res = np.maximum.reduceat(row.t_restore[nn], seg)
+                    t_sense = self.t_eval + t_sa
+                    t_cycle = t_sense + t_res
+                    search_delay = sl_delay + t_sense + enc_delay
+                    cycle_time = sl_delay + t_cycle
+                    leak = k_leak * cycle_time
+                else:
+                    e_race = sequential_segment_sum(cnt * row.energy[nn], seg, seg_ends)
+                    cutoff = self.race_amp.cutoff_time(self.c_ml)
+                    t_cycle_s = 1.2 * cutoff
+                    search_delay_s = sl_delay + cutoff + enc_delay
+                    cycle_time_s = sl_delay + t_cycle_s
+                    leak_s = k_leak * cycle_time_s
+
+                miss_grp = miss_all[grp]
+                eff = row.is_match[miss_grp] & av[np.newaxis, :]
+                logical = (miss_grp == 0) & av[np.newaxis, :]
+                errors = np.count_nonzero(eff != logical, axis=1)
+                has_match = eff.any(axis=1)
+                firsts = np.argmax(eff, axis=1)
+
+                cv = counts_valid[grp]
+                kv, nv = np.nonzero(cv)
+                cvals = cv[kv, nv]
+                hist_bounds = np.searchsorted(kv, np.arange(grp.size + 1))
+
+                for i, k in enumerate(grp):
+                    k = int(k)
+                    ledger = EnergyLedger()
+                    ledger.add(EnergyComponent.SEARCHLINE, int(toggles[k]) * e_toggle)
+                    if self.sensing == "precharge":
+                        ledger.add(EnergyComponent.ML_PRECHARGE, float(e_pre[i]))
+                        ledger.add(EnergyComponent.ML_DISSIPATION, float(e_diss[i]))
+                        ledger.add(EnergyComponent.SENSE_AMP, float(e_sa[i]))
+                        sd = float(search_delay[i])
+                        ct = float(cycle_time[i])
+                        lk = float(leak[i])
+                    else:
+                        ledger.add(EnergyComponent.RACE_SOURCE, float(e_race[i]))
+                        sd, ct, lk = search_delay_s, cycle_time_s, leak_s
+                    ledger.add(EnergyComponent.PRIORITY_ENCODER, enc_energy)
+                    ledger.add(EnergyComponent.LEAKAGE, lk)
+                    lo, hi = int(hist_bounds[i]), int(hist_bounds[i + 1])
+                    outcomes[k] = SearchOutcome(
+                        match_mask=eff[i].copy(),
+                        first_match=int(firsts[i]) if has_match[i] else None,
+                        energy=ledger,
+                        search_delay=sd,
+                        cycle_time=ct,
+                        miss_histogram={
+                            int(n): int(c) for n, c in zip(nv[lo:hi], cvals[lo:hi])
+                        },
+                        functional_errors=int(errors[i]),
+                    )
+            if sp is not None:
+                sp.annotate(
+                    fallback_keys=int(fallback_idx.size),
+                    rows_built=eng.rows_built,
+                )
+            return outcomes
 
     # -- search-line booking -------------------------------------------------
 

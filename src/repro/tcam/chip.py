@@ -27,23 +27,28 @@ from .. import obs
 from ..energy.accounting import EnergyComponent, EnergyLedger
 from ..errors import CapacityError, TCAMError
 from ..faults.faultmap import FaultMap
-from ..parallel import scatter_gather
+from ..parallel import scatter_gather_shared
 from .array import SearchOutcome, TCAMArray
 from .outcome import BaseOutcome
-from .trit import TernaryWord
+from .trit import TernaryWord, pack_keys
 
 
-def _search_bank_chunk(payload: tuple[int, "TCAMArray", list[TernaryWord]]):
-    """Search one bank's key subsequence (worker fn).
+def _search_bank_chunk_shared(views, meta):
+    """Search one bank's key subsequence (shared-transport worker fn).
 
-    Runs against a pickled copy of the bank in a worker process (the
-    parent swaps the returned, mutated copy back in) or against the real
-    bank under the in-process serial fallback -- either way the bank
-    object that ends up in ``chip.banks`` saw exactly this key sequence
-    once, so its search-line drive state and trajectory cache advance as
-    a serial run's would.
+    The whole batch's packed key matrix is shared once; each bank's
+    chunk pickles only the bank model plus its key indices and rebuilds
+    the :class:`TernaryWord` objects from the shared rows.  Runs against
+    a pickled copy of the bank in a worker process (the parent swaps the
+    returned, mutated copy back in) or against the real bank under the
+    in-process serial fallback -- either way the bank object that ends up
+    in ``chip.banks`` saw exactly this key sequence once, so its
+    search-line drive state and trajectory cache advance as a serial
+    run's would.
     """
-    bank_idx, bank, keys = payload
+    bank_idx, bank, idxs = meta
+    packed = views["keys"]
+    keys = [TernaryWord(np.asarray(packed[i], dtype=np.int8)) for i in idxs]
     if hasattr(bank, "search_batch"):
         outcomes = bank.search_batch(keys)
     else:
@@ -339,16 +344,21 @@ class TCAMChip:
                     for component, joules in ledger:
                         m.counter("energy." + component).inc(joules)
 
-            # Group keys by bank, preserving per-bank key order.
+            # Group keys by bank, preserving per-bank key order.  The
+            # packed key matrix is shared once across every bank chunk;
+            # each chunk's pickled payload is the bank model + indices.
             by_bank: dict[int, list[int]] = {}
             for i, b in enumerate(bank_ids):
                 by_bank.setdefault(b, []).append(i)
-            payloads = [
-                (b, self.banks[b], [keys[i] for i in idxs])
-                for b, idxs in sorted(by_bank.items())
+            metas = [
+                (b, self.banks[b], idxs) for b, idxs in sorted(by_bank.items())
             ]
-            results = scatter_gather(
-                _search_bank_chunk, payloads, workers=workers, span_prefix="chip.bank"
+            results = scatter_gather_shared(
+                _search_bank_chunk_shared,
+                {"keys": pack_keys(keys)},
+                metas,
+                workers=workers,
+                span_prefix="chip.bank",
             )
 
             per_key: list[SearchOutcome | None] = [None] * len(keys)

@@ -1,0 +1,176 @@
+"""Shared-memory transport: arena lifecycle, cleanup, bit-identity."""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel import (
+    SharedArena,
+    ShmSpec,
+    attached,
+    last_payload_stats,
+    scatter_gather_shared,
+    shared_memory_available,
+)
+from repro.parallel.executor import _get_pool
+from repro.parallel.shm import _ARENAS, _cleanup_arenas
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="multiprocessing.shared_memory missing"
+)
+
+DEV_SHM = pathlib.Path("/dev/shm")
+
+
+def _segment_exists(spec: ShmSpec) -> bool:
+    if not DEV_SHM.is_dir():  # non-Linux: fall back to attach-probe
+        try:
+            with attached({"probe": spec}):
+                return True
+        except FileNotFoundError:
+            return False
+    return (DEV_SHM / spec.name).exists()
+
+
+# Worker functions must live at module level to pickle into real processes.
+def _segment_sum(views, meta):
+    lo, hi = meta
+    return float(views["data"][lo:hi].sum())
+
+
+def _row_dot(views, meta):
+    row, scale = meta
+    # Copy out: results must not reference the shared views.
+    return (views["a"][row] * views["b"][row]).sum() * scale
+
+
+def _boom_shared(views, meta):
+    if meta >= 2:
+        raise ValueError(f"boom at {meta}")
+    return float(views["data"][meta])
+
+
+class TestSharedArena:
+    def test_share_attach_roundtrip(self):
+        arena = SharedArena()
+        try:
+            payload = np.arange(24, dtype=np.float64).reshape(4, 6)
+            spec = arena.share("data", payload)
+            assert spec.shape == (4, 6)
+            assert _segment_exists(spec)
+            with attached(arena.specs) as views:
+                assert np.array_equal(views["data"], payload)
+                assert not views["data"].flags.writeable
+        finally:
+            arena.close()
+        assert not _segment_exists(spec)
+
+    def test_close_is_idempotent_and_share_after_close_raises(self):
+        arena = SharedArena()
+        arena.share("x", np.zeros(3))
+        arena.close()
+        arena.close()
+        assert arena.closed
+        with pytest.raises(ParallelError):
+            arena.share("y", np.zeros(3))
+
+    def test_nbytes_accounts_every_segment(self):
+        arena = SharedArena()
+        try:
+            arena.share("a", np.zeros(10, dtype=np.float64))
+            arena.share("b", np.zeros((2, 2), dtype=np.int8))
+            assert arena.nbytes() >= 10 * 8 + 4
+        finally:
+            arena.close()
+
+    def test_atexit_sweep_reclaims_unclosed_arena(self):
+        """An arena whose owner never reached its finally block is
+        unlinked by the module's atexit sweep."""
+        arena = SharedArena()
+        spec = arena.share("orphan", np.ones(7))
+        assert arena in _ARENAS
+        _cleanup_arenas()
+        assert arena.closed
+        assert not _segment_exists(spec)
+
+    def test_noncontiguous_input_roundtrips(self):
+        arena = SharedArena()
+        try:
+            base = np.arange(20, dtype=np.int64).reshape(4, 5)
+            strided = base[:, ::2]
+            arena.share("s", strided)
+            with attached(arena.specs) as views:
+                assert np.array_equal(views["s"], strided)
+        finally:
+            arena.close()
+
+
+class TestScatterGatherShared:
+    def test_empty(self):
+        assert scatter_gather_shared(_segment_sum, {"data": np.ones(4)}, []) == []
+
+    def test_serial_matches_parallel(self):
+        data = np.random.default_rng(3).normal(size=257)
+        metas = [(lo, lo + 37) for lo in range(0, 220, 37)]
+        serial = scatter_gather_shared(_segment_sum, {"data": data}, metas, workers=1)
+        for workers in (2, 4):
+            got = scatter_gather_shared(
+                _segment_sum, {"data": data}, metas, workers=workers
+            )
+            assert got == serial, f"workers={workers} diverged from serial"
+        assert serial == [float(data[lo:hi].sum()) for lo, hi in metas]
+
+    def test_multiple_arrays(self):
+        rng = np.random.default_rng(9)
+        a, b = rng.normal(size=(6, 8)), rng.normal(size=(6, 8))
+        metas = [(row, 1.0 + row) for row in range(6)]
+        serial = scatter_gather_shared(_row_dot, {"a": a, "b": b}, metas, workers=1)
+        parallel = scatter_gather_shared(_row_dot, {"a": a, "b": b}, metas, workers=2)
+        assert parallel == serial
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        data = np.arange(5, dtype=float)
+        got = scatter_gather_shared(
+            lambda views, m: float(views["data"][m]), {"data": data}, [0, 3], workers=4
+        )
+        assert got == [0.0, 3.0]
+
+    def test_worker_exception_propagates_without_leaking(self):
+        before = len(_ARENAS)
+        with pytest.raises(ValueError, match="boom at 2"):
+            scatter_gather_shared(
+                _boom_shared, {"data": np.arange(4.0)}, [0, 1, 2, 3], workers=2
+            )
+        # The finally block closed the arena even though fn raised.
+        assert len(_ARENAS) == before
+
+    def test_payload_stats_record_shm_transport(self):
+        data = np.zeros(1024, dtype=np.float64)
+        scatter_gather_shared(
+            _segment_sum, {"data": data}, [(0, 512), (512, 1024)], workers=2
+        )
+        stats = last_payload_stats()
+        assert stats["transport"] == "shm"
+        assert stats["chunks"] == 2
+        assert stats["shared_bytes"] >= data.nbytes
+        # Each chunk pickles only its meta, never the bulk array.
+        assert all(b < 1024 for b in stats["chunk_bytes"])
+
+    def test_serial_transport_recorded(self):
+        scatter_gather_shared(_segment_sum, {"data": np.ones(4)}, [(0, 4)], workers=1)
+        stats = last_payload_stats()
+        assert stats["transport"] == "serial"
+        assert stats["shared_bytes"] == 0
+
+
+class TestWarmPools:
+    def test_pool_is_reused_across_calls(self):
+        pool = _get_pool(2)
+        assert _get_pool(2) is pool
+        data = np.arange(8.0)
+        scatter_gather_shared(_segment_sum, {"data": data}, [(0, 4), (4, 8)], workers=2)
+        assert _get_pool(2) is pool, "scatter/gather must not rebuild the warm pool"
