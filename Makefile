@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-kernels bench-parallel bench-faults report examples clean
+.PHONY: install test bench bench-kernels bench-parallel bench-faults bench-service report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -21,6 +21,9 @@ bench-parallel:
 
 bench-faults:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fig19_faults.py --check
+
+bench-service:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py --check
 
 report: bench
 	$(PYTHON) -m repro report --output-dir benchmarks/output --out REPORT.md

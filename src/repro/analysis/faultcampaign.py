@@ -204,17 +204,41 @@ def _fresh_instance(
     cols: int,
     words: list[TernaryWord],
     rewrites: list[tuple[int, TernaryWord]],
+    use_kernel: bool = False,
 ) -> TCAMArray:
     """One array instance of the trial, with the full write history."""
     array = _build_loaded(design, rows, cols, [w for w in words])
     for row, word in rewrites:
         array.write(row, word)
+    if use_kernel and hasattr(array, "enable_kernel"):
+        array.enable_kernel()
     return array
+
+
+def _searches(array: TCAMArray, keys: list[TernaryWord], use_kernel: bool) -> list:
+    """Per-key outcomes, via the batch engine when the kernel is on.
+
+    ``search_batch`` is bit-identical to the scalar loop (the batch
+    engine's contract; fault-injected arrays route to a per-key serial
+    loop internally), so both paths produce the same counts and joules.
+    """
+    if use_kernel:
+        return array.search_batch(list(keys))
+    return [array.search(k) for k in keys]
 
 
 def _fault_trial(
     payload: tuple[
-        str, int, int, int, tuple[float, ...], str, str, int, np.random.SeedSequence
+        str,
+        int,
+        int,
+        int,
+        tuple[float, ...],
+        str,
+        str,
+        int,
+        bool,
+        np.random.SeedSequence,
     ],
 ) -> list[dict]:
     """Run one trial over every density (pure worker fn).
@@ -222,17 +246,28 @@ def _fault_trial(
     Returns one raw-count dict per density, in sweep order; the parent
     sums them across trials.
     """
-    design, rows, cols, n_spare, densities, mode, repair, n_keys, seed_seq = payload
+    (
+        design,
+        rows,
+        cols,
+        n_spare,
+        densities,
+        mode,
+        repair,
+        n_keys,
+        use_kernel,
+        seed_seq,
+    ) = payload
     rng = np.random.default_rng(seed_seq)
     rows_loaded = rows - n_spare
     words, keys, rewrites = _trial_content(rng, rows_loaded, cols, mode, n_keys)
 
-    golden = _fresh_instance(design, rows, cols, words, rewrites)
+    golden = _fresh_instance(design, rows, cols, words, rewrites, use_kernel)
     campaign = FaultCampaign(rows, cols)
     plan = campaign.draw(
         mode, rng, wear_counts=golden.wear_counts() if mode == "wear" else None
     )
-    golden_outs = [golden.search(k) for k in keys]
+    golden_outs = _searches(golden, keys, use_kernel)
     golden_sets = [
         frozenset(int(r) for r in np.flatnonzero(o.match_mask)) for o in golden_outs
     ]
@@ -242,23 +277,21 @@ def _fault_trial(
     for density in densities:
         fault_map = plan.at_density(density)
 
-        faulty = _fresh_instance(design, rows, cols, words, rewrites)
+        faulty = _fresh_instance(design, rows, cols, words, rewrites, use_kernel)
         faulty.attach_faults(fault_map)
         false_match = 0
         false_miss = 0
         faulty_energy = 0.0
-        for key, gold in zip(keys, golden_outs):
-            out = faulty.search(key)
+        for gold, out in zip(golden_outs, _searches(faulty, keys, use_kernel)):
             false_match += int(np.count_nonzero(out.match_mask & ~gold.match_mask))
             false_miss += int(np.count_nonzero(gold.match_mask & ~out.match_mask))
             faulty_energy += out.energy.total
 
-        repaired = _fresh_instance(design, rows, cols, words, rewrites)
+        repaired = _fresh_instance(design, rows, cols, words, rewrites, use_kernel)
         repaired.attach_faults(fault_map.copy())
         report = get_policy(repair, n_spare=n_spare).repair(repaired, repaired.faults)
         yield_keys = 0
-        for key, gold_set in zip(keys, golden_sets):
-            out = repaired.search(key)
+        for gold_set, out in zip(golden_sets, _searches(repaired, keys, use_kernel)):
             want = {report.row_map.get(r, r) for r in gold_set}
             got = set(int(r) for r in np.flatnonzero(out.match_mask))
             yield_keys += want == got
@@ -293,6 +326,7 @@ def run_fault_campaign(
     n_keys: int = 24,
     seed: int = 20260805,
     workers: int = 0,
+    use_kernel: bool = False,
 ) -> FaultCampaignResult:
     """Sweep fault density; measure error rates, energy delta and yield.
 
@@ -315,6 +349,8 @@ def run_fault_campaign(
         n_keys: Search keys per trial (critical corners + random fill).
         seed: Root seed; trials draw from its spawned children.
         workers: Process count for the trial fan-out; ``<= 1`` serial.
+        use_kernel: Route searches through the compiled-kernel batch
+            engine on designs that support it (bit-identical results).
 
     Raises:
         AnalysisError: on an empty/invalid sweep configuration.
@@ -361,7 +397,7 @@ def run_fault_campaign(
             m.counter("faults.trials").inc(n_trials)
         seeds = spawn_seeds(seed, n_trials)
         payloads = [
-            (design, rows, cols, n_spare, densities, mode, repair, n_keys, s)
+            (design, rows, cols, n_spare, densities, mode, repair, n_keys, bool(use_kernel), s)
             for s in seeds
         ]
         per_trial = scatter_gather(

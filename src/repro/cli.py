@@ -59,6 +59,7 @@ TRACEABLE_COMMANDS = (
     "report",
     "advise",
     "faults",
+    "serve",
 )
 
 
@@ -181,6 +182,8 @@ def _cmd_margin(args: argparse.Namespace) -> int:
 def _cmd_mc(args: argparse.Namespace) -> int:
     spec = get_design(args.design)
     array = build_array(spec, ArrayGeometry(args.rows, args.cols))
+    if args.kernel and hasattr(array, "enable_kernel"):
+        array.enable_kernel()
     variation = NOMINAL_VARIATION.scaled(args.sigma_scale)
     mc = run_margin_mc(
         array, variation, n_samples=args.samples, seed=args.seed, workers=args.workers
@@ -343,6 +346,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         n_keys=args.keys,
         seed=args.seed,
         workers=args.workers,
+        use_kernel=args.kernel,
     )
     if args.json:
         _emit_json({"command": "faults", **result.to_dict()})
@@ -371,6 +375,70 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             f"{p.post_repair_yield:.3f}",
         )
     print(table)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import (
+        ARRIVAL_PROCESSES,
+        AdmissionControl,
+        ArrayBackend,
+        ChipBackend,
+        make_policy,
+        serve_trace,
+    )
+
+    spec = get_design(args.design)
+    rng = np.random.default_rng(args.seed)
+    if args.banks > 1:
+        from .tcam.chip import TCAMChip
+
+        chip = TCAMChip(
+            lambda: build_array(spec, ArrayGeometry(args.rows, args.cols)),
+            n_banks=args.banks,
+        )
+        chip.load(
+            [random_word(args.cols, rng) for _ in range(args.rows * args.banks)]
+        )
+        if args.kernel:
+            for bank in chip.banks:
+                if hasattr(bank, "enable_kernel"):
+                    bank.enable_kernel()
+        backend = ChipBackend(chip, workers=args.workers)
+    else:
+        array = build_array(spec, ArrayGeometry(args.rows, args.cols))
+        array.load([random_word(args.cols, rng) for _ in range(args.rows)])
+        if args.kernel and hasattr(array, "enable_kernel"):
+            array.enable_kernel()
+        backend = ArrayBackend(array, workers=args.workers)
+
+    trace = ARRIVAL_PROCESSES[args.process](
+        args.requests, rate=args.rate, cols=args.cols, seed=args.seed,
+        n_banks=args.banks,
+    )
+    policy = make_policy(
+        args.policy, max_batch=args.max_batch, max_wait=args.max_wait_us * 1e-6
+    )
+    admission = AdmissionControl(args.queue_cap if args.queue_cap > 0 else None)
+    report = asyncio.run(serve_trace(backend, trace, policy, admission=admission))
+    if args.json:
+        _emit_json({"command": "serve", **report.to_dict()})
+        return 0
+    print(f"design          : {spec.name} ({args.banks} bank(s))")
+    print(f"arrivals        : {args.process}, {report.offered} offered "
+          f"at {eng(args.rate, 'req/s')}")
+    print(f"policy          : {report.policy}")
+    print(f"completed       : {report.completed}  rejected: {report.rejected}")
+    print(f"batches         : {report.batches} "
+          f"(mean size {report.mean_batch_size:.2f})")
+    print(f"throughput      : {eng(report.throughput, 'req/s')}")
+    print(f"latency p50     : {eng(report.latency_p50, 's')}")
+    print(f"latency p95     : {eng(report.latency_p95, 's')}")
+    print(f"latency p99     : {eng(report.latency_p99, 's')}")
+    print(f"energy/request  : {eng(report.energy_per_request, 'J')}")
+    print(f"port utilization: {report.utilization:.3f}")
     return 0
 
 
@@ -515,6 +583,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="process count for the sample chunks (default: serial)",
     )
+    mc.add_argument(
+        "--kernel",
+        action="store_true",
+        help=(
+            "enable the compiled waveform tables on the array under "
+            "test (bit-identical margins; exercises kernel pickling "
+            "through the sample fan-out)"
+        ),
+    )
     mc.add_argument("--json", action="store_true", help="emit JSON instead of text")
     mc.set_defaults(func=_cmd_mc)
 
@@ -607,8 +684,61 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="process count for the trial fan-out (default: serial)",
     )
+    faults.add_argument(
+        "--kernel",
+        action="store_true",
+        help=(
+            "route trial searches through the compiled-kernel batch "
+            "engine (bit-identical; under 'trace', kernels.* counters "
+            "appear in the metrics summary)"
+        ),
+    )
     faults.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     faults.set_defaults(func=_cmd_faults)
+
+    serve = sub.add_parser(
+        "serve", help="TCAM-as-a-service: batched lookup serving simulation"
+    )
+    serve.add_argument("--design", default="fefet2t")
+    serve.add_argument("--rows", type=int, default=32)
+    serve.add_argument("--cols", type=int, default=32)
+    serve.add_argument(
+        "--banks", type=int, default=1,
+        help="bank count; > 1 serves a TCAMChip with bank routing",
+    )
+    serve.add_argument("--requests", type=int, default=2000)
+    serve.add_argument(
+        "--rate", type=float, default=1e6, help="offered arrival rate [req/s]"
+    )
+    serve.add_argument(
+        "--process", choices=["poisson", "mmpp", "diurnal"], default="poisson"
+    )
+    serve.add_argument(
+        "--policy", choices=["none", "fixed", "adaptive"], default="adaptive"
+    )
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument(
+        "--max-wait-us", type=float, default=10.0,
+        help="coalescing wait budget [microseconds]",
+    )
+    serve.add_argument(
+        "--queue-cap", type=int, default=256,
+        help="admission queue bound; 0 means unbounded",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="process count for the batched searches (default: serial)",
+    )
+    serve.add_argument(
+        "--kernel",
+        action="store_true",
+        help="answer batches from the compiled waveform tables (bit-identical)",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     trace = sub.add_parser(
         "trace", help="run any subcommand under the observability layer"

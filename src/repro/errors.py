@@ -51,3 +51,8 @@ class FaultError(ReproError):
 class KernelError(ReproError):
     """The compiled waveform/search kernel was misconfigured or failed
     validation against its RK4 reference."""
+
+
+class ServeError(ReproError):
+    """The serving layer was misconfigured or violated its conservation
+    invariants (offered == completed + rejected)."""

@@ -14,6 +14,7 @@ Naming convention (see DESIGN.md): dotted, ``<subsystem>.<quantity>`` --
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable
 from typing import Any
 
 from ..errors import ReproError
@@ -49,15 +50,27 @@ class Gauge:
         self.value = float(value)
 
 
-class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/mean).
+#: Samples a histogram retains for quantile readout before it starts
+#: thinning.  Below the cap quantiles are exact; above it the histogram
+#: keeps every ``stride``-th sample (stride doubles each time the buffer
+#: fills), which is deterministic -- identical observation sequences
+#: always retain identical samples -- but approximate.
+HISTOGRAM_SAMPLE_CAP = 65536
 
-    Full bucketing is overkill for a single-process simulator; the
-    summary statistics are what the stdout sink tabulates and what the
-    tests assert against.
+
+class Histogram:
+    """Streaming summary of observed values with quantile readout.
+
+    Tracks count/sum/min/max/mean exactly, plus a retained-sample buffer
+    for :meth:`quantile` (``p50/p95/p99`` in :meth:`MetricsRegistry.
+    snapshot`).  Retention is capped at :data:`HISTOGRAM_SAMPLE_CAP`;
+    past the cap every other retained sample is dropped and the keep
+    stride doubles, so memory stays bounded and the kept set is a pure
+    function of the observation sequence (never of wall-clock or worker
+    scheduling).
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "samples", "stride")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -65,10 +78,16 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.samples: list[float] = []
+        self.stride = 1
 
     def observe(self, value: float) -> None:
         """Record one sample."""
         value = float(value)
+        if self.count % self.stride == 0:
+            self.samples.append(value)
+            if len(self.samples) > HISTOGRAM_SAMPLE_CAP:
+                self._thin()
         self.count += 1
         self.total += value
         if value < self.min:
@@ -76,19 +95,58 @@ class Histogram:
         if value > self.max:
             self.max = value
 
+    def _thin(self) -> None:
+        """Halve the retained buffer and double the keep stride."""
+        self.samples = self.samples[::2]
+        self.stride *= 2
+
     @property
     def mean(self) -> float:
         """Sample mean (0.0 with no samples)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Value at percentile ``q`` (0-100) over the retained samples.
+
+        Exact (linear interpolation, ``numpy.percentile`` semantics)
+        while the histogram has retained every observation; a
+        deterministic approximation once thinning has engaged.
+
+        Raises:
+            ReproError: outside [0, 100] or with no samples.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ReproError(f"percentile must be in [0, 100], got {q}")
+        if not self.samples:
+            raise ReproError(f"histogram {self.name!r} has no samples")
+        rank = (len(self.samples) - 1) * (q / 100.0)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        ordered = sorted(self.samples)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
+    def quantiles(self, qs: Iterable[float] = (50.0, 95.0, 99.0)) -> dict[str, float]:
+        """``{"p50": ..., ...}`` readout for several percentiles at once."""
+        return {f"p{q:g}": self.quantile(q) for q in qs}
+
     def merge(self, other: "Histogram") -> None:
-        """Fold another histogram's summary into this one."""
+        """Fold another histogram's summary into this one.
+
+        Retained samples concatenate in merge order (the parallel layer
+        merges chunk registries in chunk order, so below the sample cap
+        the merged buffer equals the serial run's); the merged buffer is
+        re-thinned if the union overflows the cap.
+        """
         self.count += other.count
         self.total += other.total
         if other.min < self.min:
             self.min = other.min
         if other.max > self.max:
             self.max = other.max
+        self.samples.extend(other.samples)
+        self.stride = max(self.stride, other.stride)
+        while len(self.samples) > HISTOGRAM_SAMPLE_CAP:
+            self._thin()
 
 
 class MetricsRegistry:
@@ -159,19 +217,23 @@ class MetricsRegistry:
         """Plain-dict render of every instrument, sorted by name.
 
         Counters and gauges map to their value; histograms to a
-        ``{count, sum, min, max, mean}`` sub-dict (min/max are ``None``
-        when empty).
+        ``{count, sum, min, max, mean, p50, p95, p99}`` sub-dict
+        (min/max and the percentiles are ``None`` when empty).
         """
         out: dict[str, Any] = {}
         for name in sorted(self._instruments):
             instrument = self._instruments[name]
             if isinstance(instrument, Histogram):
+                empty = instrument.count == 0
                 out[name] = {
                     "count": instrument.count,
                     "sum": instrument.total,
-                    "min": instrument.min if instrument.count else None,
-                    "max": instrument.max if instrument.count else None,
+                    "min": instrument.min if not empty else None,
+                    "max": instrument.max if not empty else None,
                     "mean": instrument.mean,
+                    "p50": instrument.quantile(50.0) if not empty else None,
+                    "p95": instrument.quantile(95.0) if not empty else None,
+                    "p99": instrument.quantile(99.0) if not empty else None,
                 }
             else:
                 out[name] = instrument.value

@@ -18,6 +18,10 @@ calls (:func:`shutdown_pools` tears them down) and every fan-out records
 what crossed the process boundary (:func:`last_payload_stats`).
 """
 
+import atexit
+
+from . import executor as _executor
+from . import shm as _shm
 from .executor import (
     available_cpus,
     last_payload_stats,
@@ -29,6 +33,28 @@ from .executor import (
 )
 from .seeding import DEFAULT_CHUNKS, chunk_bounds, default_chunk_size, spawn_seeds
 from .shm import ShmSpec, SharedArena, attached, shared_memory_available
+
+
+def _parallel_atexit() -> None:
+    """Ordered interpreter-shutdown teardown for the whole layer.
+
+    One hook instead of two so the order is explicit rather than an
+    accident of module import order: first drain and shut down the warm
+    worker pools (``wait=True`` -- in-flight chunks may still be
+    attaching shared segments), and only then unlink whatever shared-
+    memory arenas are left.  The reverse order unlinks segments while
+    workers can still call ``SharedMemory(name=...)`` on them, which
+    raises ``FileNotFoundError`` in the worker and kills the chunk --
+    exactly what a long-lived serving process must not hit on exit.
+
+    Looked up through the module attributes (not closed-over function
+    objects) so tests can monkeypatch and assert the call order.
+    """
+    _executor.shutdown_pools(wait=True)
+    _shm._cleanup_arenas()
+
+
+atexit.register(_parallel_atexit)
 
 __all__ = [
     "DEFAULT_CHUNKS",

@@ -52,7 +52,6 @@ Both record what actually crossed the process boundary: the
 
 from __future__ import annotations
 
-import atexit
 import os
 import pickle
 from collections.abc import Callable, Iterable, Mapping, Sequence
@@ -101,23 +100,34 @@ def _get_pool(n_workers: int) -> ProcessPoolExecutor:
     return pool
 
 
-def _discard_pool(n_workers: int) -> None:
-    """Drop a (presumably broken) pool from the cache and shut it down."""
+def _discard_pool(n_workers: int, wait: bool = False) -> None:
+    """Drop a pool from the cache and shut it down.
+
+    ``wait=False`` (the default) is the broken-pool path: abandon
+    whatever is in flight.  ``wait=True`` drains the pool first, which
+    the ordered atexit hook relies on so no worker is still attaching to
+    shared-memory segments when the arena sweep unlinks them.
+    """
     pool = _POOLS.pop(n_workers, None)
     if pool is not None:
         try:
-            pool.shutdown(wait=False, cancel_futures=True)
+            pool.shutdown(wait=wait, cancel_futures=not wait)
         except Exception:  # pragma: no cover - best effort on a dead pool
             pass
 
 
-def shutdown_pools() -> None:
-    """Shut down every warm worker pool (also runs atexit)."""
+def shutdown_pools(wait: bool = False) -> None:
+    """Shut down every warm worker pool.
+
+    Args:
+        wait: Drain in-flight chunks before returning.  The interpreter-
+            shutdown hook (:func:`repro.parallel._parallel_atexit`) passes
+            ``True`` so a long-lived serving process cannot tear down
+            warm pools while workers still hold shared-memory
+            attachments; interactive callers keep the fast default.
+    """
     for n_workers in list(_POOLS):
-        _discard_pool(n_workers)
-
-
-atexit.register(shutdown_pools)
+        _discard_pool(n_workers, wait=wait)
 
 
 # -- payload accounting ----------------------------------------------------

@@ -31,7 +31,6 @@ exit, destroying them mid-gather.
 
 from __future__ import annotations
 
-import atexit
 import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -74,13 +73,19 @@ class ShmSpec:
 _ARENAS: "weakref.WeakSet[SharedArena]" = weakref.WeakSet()
 
 
-def _cleanup_arenas() -> None:  # pragma: no cover - exercised via atexit test
-    """Unlink every arena still alive at interpreter shutdown."""
+def _cleanup_arenas() -> None:
+    """Unlink every arena still alive.
+
+    Runs at interpreter shutdown via the package-level
+    :func:`repro.parallel._parallel_atexit` hook, which orders it
+    *after* the worker pools have been drained -- unlinking first would
+    race late worker attaches (``SharedMemory(name=...)`` fails on an
+    already-unlinked segment).  This module deliberately registers no
+    atexit hook of its own: a second, independently-ordered hook is
+    exactly the hazard the combined one removes.
+    """
     for arena in list(_ARENAS):
         arena.close()
-
-
-atexit.register(_cleanup_arenas)
 
 
 class SharedArena:

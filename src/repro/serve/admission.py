@@ -1,0 +1,38 @@
+"""Admission control: bounded-queue backpressure for the ingress.
+
+The serving queue is bounded; a request arriving while the queue is
+full is **rejected at the door** (load shedding) rather than enqueued
+into unbounded latency.  The engine accounts every decision exactly:
+``offered == admitted + rejected`` and, after a drain,
+``admitted == completed`` -- the conservation invariant the CI smoke
+gate asserts.
+"""
+
+from __future__ import annotations
+
+from ..errors import ServeError
+
+
+class AdmissionControl:
+    """Bounded waiting-room admission.
+
+    Args:
+        queue_capacity: Maximum requests allowed to wait for dispatch
+            (in-service batches do not count against it).  ``None``
+            means unbounded (no backpressure).
+    """
+
+    def __init__(self, queue_capacity: int | None = 256) -> None:
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ServeError(
+                f"queue_capacity must be >= 1 or None, got {queue_capacity}"
+            )
+        self.queue_capacity = queue_capacity
+
+    def admit(self, queue_length: int) -> bool:
+        """True when a request may join a queue of ``queue_length``."""
+        return self.queue_capacity is None or queue_length < self.queue_capacity
+
+    def describe(self) -> dict:
+        """JSON-ready parameter dump for reports and benchmarks."""
+        return {"queue_capacity": self.queue_capacity}

@@ -72,6 +72,7 @@ class TestRegistry:
         assert snap["b.count"] == 2.0
         assert snap["c.sizes"] == {
             "count": 1, "sum": 4.0, "min": 4.0, "max": 4.0, "mean": 4.0,
+            "p50": 4.0, "p95": 4.0, "p99": 4.0,
         }
 
     def test_snapshot_empty_histogram_none_bounds(self):
@@ -79,3 +80,72 @@ class TestRegistry:
         reg.histogram("h")
         snap = reg.snapshot()
         assert snap["h"]["min"] is None and snap["h"]["max"] is None
+        assert snap["h"]["p50"] is None and snap["h"]["p99"] is None
+
+
+class TestHistogramQuantiles:
+    def test_exact_quantiles_below_cap(self):
+        import numpy as np
+
+        h = Histogram("h")
+        values = list(range(1, 101))
+        for v in values:
+            h.observe(float(v))
+        for q in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert h.quantile(q) == pytest.approx(
+                float(np.percentile(values, q)), abs=1e-12
+            )
+
+    def test_quantile_order_independent(self):
+        a, b = Histogram("a"), Histogram("b")
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            a.observe(v)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            b.observe(v)
+        assert a.quantile(50.0) == b.quantile(50.0) == 3.0
+
+    def test_quantile_validation(self):
+        h = Histogram("h")
+        with pytest.raises(ReproError):
+            h.quantile(50.0)  # no samples yet
+        h.observe(1.0)
+        with pytest.raises(ReproError):
+            h.quantile(101.0)
+
+    def test_quantiles_dict_readout(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        qs = h.quantiles()
+        assert set(qs) == {"p50", "p95", "p99"}
+        assert qs["p50"] == pytest.approx(50.5)
+
+    def test_thinning_is_deterministic_and_bounded(self):
+        from repro.obs.metrics import HISTOGRAM_SAMPLE_CAP
+
+        a, b = Histogram("a"), Histogram("b")
+        n = HISTOGRAM_SAMPLE_CAP + 1000
+        for i in range(n):
+            a.observe(float(i))
+            b.observe(float(i))
+        assert a.samples == b.samples
+        assert len(a.samples) <= HISTOGRAM_SAMPLE_CAP
+        assert a.stride == 2
+        assert a.count == n  # summary stats stay exact
+        # Thinned quantiles stay close on a uniform ramp.
+        assert a.quantile(50.0) == pytest.approx(n / 2, rel=0.01)
+
+    def test_merge_concatenates_samples_in_chunk_order(self):
+        serial = Histogram("s")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            serial.observe(v)
+        c0, c1 = Histogram("c0"), Histogram("c1")
+        c0.observe(1.0)
+        c0.observe(2.0)
+        c1.observe(3.0)
+        c1.observe(4.0)
+        merged = Histogram("m")
+        merged.merge(c0)
+        merged.merge(c1)
+        assert merged.samples == serial.samples
+        assert merged.quantile(99.0) == serial.quantile(99.0)

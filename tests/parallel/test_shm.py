@@ -37,6 +37,13 @@ def _segment_exists(spec: ShmSpec) -> bool:
 
 
 # Worker functions must live at module level to pickle into real processes.
+def _slow_identity(i):
+    import time
+
+    time.sleep(0.05)
+    return i
+
+
 def _segment_sum(views, meta):
     lo, hi = meta
     return float(views["data"][lo:hi].sum())
@@ -96,6 +103,42 @@ class TestSharedArena:
         _cleanup_arenas()
         assert arena.closed
         assert not _segment_exists(spec)
+
+    def test_interpreter_shutdown_drains_pools_before_arena_sweep(self, monkeypatch):
+        """The single atexit hook must shut pools down (waiting) before
+        unlinking arenas -- the reverse order races late worker attaches."""
+        import repro.parallel as parallel
+
+        calls: list = []
+        monkeypatch.setattr(
+            parallel._executor,
+            "shutdown_pools",
+            lambda wait=False: calls.append(("pools", wait)),
+        )
+        monkeypatch.setattr(
+            parallel._shm, "_cleanup_arenas", lambda: calls.append(("arenas", None))
+        )
+        parallel._parallel_atexit()
+        assert calls == [("pools", True), ("arenas", None)]
+
+    def test_shm_module_registers_no_own_atexit_hook(self):
+        """Ordering lives in one place: the shm module source must not
+        register its own handler (import order would decide again)."""
+        import inspect
+
+        import repro.parallel.shm as shm
+
+        assert "atexit.register" not in inspect.getsource(shm)
+
+    def test_shutdown_pools_wait_drains_inflight_work(self):
+        """shutdown_pools(wait=True) returns only after queued chunks ran."""
+        from repro.parallel import executor as ex
+
+        pool = ex._get_pool(2)
+        futures = [pool.submit(_slow_identity, i) for i in range(4)]
+        ex.shutdown_pools(wait=True)
+        assert all(f.done() for f in futures)
+        assert sorted(f.result() for f in futures) == [0, 1, 2, 3]
 
     def test_noncontiguous_input_roundtrips(self):
         arena = SharedArena()

@@ -61,6 +61,18 @@ class TestMonteCarlo:
         out = capsys.readouterr().out
         assert "margin mean" in out
 
+    def test_kernel_flag_leaves_margins_bit_identical(self, capsys):
+        """--kernel enables the compiled tables on the array under test;
+        margins (and the process fan-out pickling it) must not change."""
+        small = ["mc", "--samples", "20", "--rows", "4", "--cols", "16", "--json"]
+        assert main(small) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main(small + ["--kernel"]) == 0
+        kernel = json.loads(capsys.readouterr().out)
+        assert plain == kernel
+        assert main(small + ["--kernel", "--workers", "2"]) == 0
+        assert plain == json.loads(capsys.readouterr().out)
+
 
 class TestLpm:
     def test_agrees_with_oracle(self, capsys):
@@ -203,3 +215,9 @@ class TestFaults:
         assert main(["trace"] + self._SMALL) == 0
         assert not obs.is_enabled()
         assert "faults.campaign" in capsys.readouterr().out
+
+    def test_kernel_flag_bit_identical(self, capsys):
+        assert main(self._SMALL + ["--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main(self._SMALL + ["--json", "--kernel"]) == 0
+        assert plain == json.loads(capsys.readouterr().out)
