@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-kernels bench-parallel bench-faults bench-service report examples clean
+.PHONY: install test bench bench-kernels bench-parallel bench-faults bench-service bench-dse report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -24,6 +24,9 @@ bench-faults:
 
 bench-service:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py --check
+
+bench-dse:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_dse.py --check
 
 report: bench
 	$(PYTHON) -m repro report --output-dir benchmarks/output --out REPORT.md

@@ -31,6 +31,7 @@ import json
 import pathlib
 
 from repro.analysis.faultcampaign import run_fault_campaign
+from repro.tcam.outcome import SCHEMA_VERSION
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DESIGN = "fefet2t"
@@ -72,6 +73,7 @@ def run_bench(smoke: bool, workers: int) -> dict:
         )
         sweeps[repair] = result.to_dict()
     return {
+        "schema_version": SCHEMA_VERSION,
         "design": DESIGN,
         "seed": SEED,
         "workers": workers,

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core import all_designs, build_array, get_design
 from repro.tcam import ArrayGeometry
+from repro.tcam.outcome import SCHEMA_VERSION
 from repro.tcam.trit import random_word
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -153,6 +154,7 @@ def run_bench(smoke: bool) -> dict:
         fallback = run_fallback(rows=64, cols=32, n_keys=64)
         timing = run_timing(rows=256, cols=64, n_keys=1024)
     return {
+        "schema_version": SCHEMA_VERSION,
         "design": DESIGN,
         "validation_rtol": 1e-9,
         "validation": validation,

@@ -35,6 +35,7 @@ from repro.core import build_array, get_design
 from repro.devices.variability import NOMINAL_VARIATION
 from repro.parallel import available_cpus, last_payload_stats
 from repro.tcam import ArrayGeometry
+from repro.tcam.outcome import SCHEMA_VERSION
 from repro.tcam.chip import GatingPolicy, TCAMChip
 from repro.tcam.trit import random_word
 
@@ -176,6 +177,7 @@ def run_bench(workers: int, smoke: bool) -> dict:
         bench_chip_search(workers, sizes["n_keys"]),
     ]
     record = {
+        "schema_version": SCHEMA_VERSION,
         "design": DESIGN,
         "workers": workers,
         "cpu_count": available_cpus(),

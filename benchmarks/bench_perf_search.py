@@ -33,6 +33,7 @@ import numpy as np
 from repro import obs
 from repro.core import build_array, get_design
 from repro.tcam import ArrayGeometry
+from repro.tcam.outcome import SCHEMA_VERSION
 from repro.tcam.trit import random_word
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -98,6 +99,7 @@ def run_bench(
 
     stats = batch_array.ml_cache_stats()
     record = {
+        "schema_version": SCHEMA_VERSION,
         "design": DESIGN,
         "rows": rows,
         "cols": cols,

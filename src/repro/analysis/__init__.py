@@ -15,6 +15,14 @@ from .faultcampaign import (
 )
 from .yieldest import failure_rate_vs_sigma, search_failure_probability
 from .sweep import Sweep, SweepResult
+from .dse import (
+    DesignPoint,
+    DSEResult,
+    default_space,
+    evaluate_point,
+    pareto_frontier,
+    run_dse,
+)
 from .disturb import V_HALF, V_THIRD, DisturbAnalysis, DisturbPoint, WriteScheme
 from .analytic import AnalyticEstimate, estimate_search_energy, relative_error
 from .retention import YEAR_SECONDS, RetentionModel
@@ -42,6 +50,12 @@ __all__ = [
     "failure_rate_vs_sigma",
     "Sweep",
     "SweepResult",
+    "DesignPoint",
+    "DSEResult",
+    "default_space",
+    "evaluate_point",
+    "pareto_frontier",
+    "run_dse",
     "WriteScheme",
     "V_HALF",
     "V_THIRD",

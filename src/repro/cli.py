@@ -42,6 +42,7 @@ from .devices.variability import NOMINAL_VARIATION
 from .energy.accounting import EnergyLedger
 from .reporting.table import Table
 from .tcam import ArrayGeometry
+from .tcam.cells import all_cell_specs
 from .tcam.cells.fefet2t import default_fefet_cell_params
 from .tcam.trit import random_word
 from .units import eng
@@ -60,6 +61,7 @@ TRACEABLE_COMMANDS = (
     "advise",
     "faults",
     "serve",
+    "dse",
 )
 
 
@@ -68,21 +70,58 @@ def _emit_json(payload: dict) -> None:
 
 
 def _cmd_designs(args: argparse.Namespace) -> int:
+    cells = []
+    for cspec in all_cell_specs():
+        cell = cspec.build()
+        cells.append(
+            {
+                "key": cspec.name,
+                "display_name": cspec.display_name,
+                "transistors": cell.transistor_count,
+                "area_f2": cell.area_f2,
+                "bits_per_cell": cell.bits_per_cell,
+                "proposed": cspec.proposed,
+                "description": cspec.description,
+            }
+        )
     if getattr(args, "json", False):
         _emit_json(
             {
                 "command": "designs",
                 "designs": [
-                    {"key": s.name, "sensing": s.sensing, "description": s.description}
+                    {
+                        "key": s.name,
+                        "cell": s.cell_name,
+                        "sensing": s.sensing,
+                        "description": s.description,
+                    }
                     for s in all_designs()
                 ],
+                "cells": cells,
             }
         )
         return 0
-    table = Table(title="Registered TCAM designs", columns=["key", "sensing", "description"])
+    table = Table(
+        title="Registered TCAM designs",
+        columns=["key", "cell", "sensing", "description"],
+    )
     for spec in all_designs():
-        table.add_row(spec.name, spec.sensing, spec.description)
+        table.add_row(spec.name, spec.cell_name or "-", spec.sensing, spec.description)
     print(table)
+    cell_table = Table(
+        title="Registered TCAM cells",
+        columns=["key", "T", "area [F^2]", "bits/cell", "description"],
+    )
+    for c in cells:
+        cell_table.add_row(
+            c["key"],
+            c["transistors"],
+            f"{c['area_f2']:g}",
+            f"{c['bits_per_cell']:g}",
+            c["description"],
+        )
+    print()
+    print(cell_table)
     return 0
 
 
@@ -442,9 +481,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    from .reporting.aggregate import write_report
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from .analysis.dse import default_space, run_dse
 
+    space = default_space(
+        cells=args.cell,
+        rows=tuple(args.rows) if args.rows else (32,),
+        cols=tuple(args.cols) if args.cols else (16, 32),
+        segments=tuple(args.segments) if args.segments else (0,),
+        vdds=tuple(args.vdd) if args.vdd else (None,),
+    )
+    result = run_dse(
+        space,
+        searches=args.searches,
+        seed=args.seed,
+        workers=args.workers,
+        use_kernel=args.kernel,
+    )
+    if args.json:
+        _emit_json({"command": "dse", "seed": args.seed, **result.to_dict()})
+        return 0
+    table = Table(
+        title=(
+            f"Pareto frontier ({len(result.frontier_indices)} of "
+            f"{len(result.points)} points)"
+        ),
+        columns=["design point", "E/bit", "delay", "area/bit", "accuracy"],
+    )
+    for row in result.frontier:
+        table.add_row(
+            row["label"],
+            eng(row["energy_per_bit"], "J"),
+            eng(row["search_delay"], "s"),
+            f"{row['area_f2_per_bit']:.1f} F^2",
+            f"{row['accuracy']:.6f}",
+        )
+    print(table)
+    print(f"\nfrontier cells: {', '.join(result.frontier_cells())}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .reporting.aggregate import validate_bench_artifacts, write_report
+
+    artifacts = validate_bench_artifacts(args.bench_dir)
+    if artifacts:
+        print(f"validated {len(artifacts)} benchmark artifact(s)")
     path = write_report(args.output_dir, args.out)
     print(f"wrote {path}")
     return 0
@@ -525,6 +607,77 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return code
 
 
+# -- shared flag groups -------------------------------------------------------
+# Parent parsers for the flags that mean the same thing on every
+# subcommand.  Each factory returns a fresh ``add_help=False`` parser so
+# per-command defaults stay independent; a subcommand opts in by listing
+# the parents it needs and only declares its own flags inline.
+
+
+def _design_flags(
+    default: str | None, help: str = "design registry key"
+) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--design", default=default, help=help)
+    return parent
+
+
+def _shape_flags(rows: int, cols: int) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--rows", type=int, default=rows)
+    parent.add_argument("--cols", type=int, default=cols)
+    return parent
+
+
+def _seed_flags(default: int = 0) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=default)
+    return parent
+
+
+def _engine_flags(what: str) -> argparse.ArgumentParser:
+    """``--workers`` / ``--kernel``: the shared batch-engine knobs."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=f"process count for {what} (default: serial)",
+    )
+    parent.add_argument(
+        "--kernel",
+        action="store_true",
+        help=(
+            "answer batched searches from the compiled waveform tables "
+            "(bit-identical; under 'trace', kernels.* counters appear "
+            "in the metrics summary)"
+        ),
+    )
+    return parent
+
+
+def _service_flags() -> argparse.ArgumentParser:
+    """``--banks`` / ``--process``: the multi-bank service-shape knobs."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--banks", type=int, default=1,
+        help="bank count; > 1 serves a TCAMChip with bank routing",
+    )
+    parent.add_argument(
+        "--process", choices=["poisson", "mmpp", "diurnal"], default="poisson",
+        help="arrival process shape",
+    )
+    return parent
+
+
+def _json_flags(instead_of: str = "text") -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--json", action="store_true", help=f"emit JSON instead of {instead_of}"
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -533,70 +686,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    designs = sub.add_parser("designs", help="list the design registry")
-    designs.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    designs = sub.add_parser(
+        "designs",
+        help="list the design and cell registries",
+        parents=[_json_flags("a table")],
+    )
     designs.set_defaults(func=_cmd_designs)
 
-    compare = sub.add_parser("compare", help="compare designs on one workload")
-    compare.add_argument("--design", default=None, help="restrict to one design")
-    compare.add_argument("--rows", type=int, default=64)
-    compare.add_argument("--cols", type=int, default=64)
+    compare = sub.add_parser(
+        "compare",
+        help="compare designs on one workload",
+        parents=[
+            _design_flags(None, help="restrict to one design"),
+            _shape_flags(rows=64, cols=64),
+            _seed_flags(),
+            _engine_flags("the batched searches"),
+            _json_flags("a table"),
+        ],
+    )
     compare.add_argument("--searches", type=int, default=8)
     compare.add_argument("--x-fraction", type=float, default=0.3)
-    compare.add_argument("--seed", type=int, default=0)
-    compare.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="process count for the batched searches (default: serial)",
-    )
-    compare.add_argument(
-        "--kernel",
-        action="store_true",
-        help=(
-            "answer batches from the compiled waveform tables "
-            "(bit-identical; under 'trace', kernels.* counters appear "
-            "in the metrics summary)"
-        ),
-    )
-    compare.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     compare.set_defaults(func=_cmd_compare)
 
-    margin = sub.add_parser("margin", help="sense margin at one ML swing")
-    margin.add_argument("--design", default="fefet2t_lv")
+    margin = sub.add_parser(
+        "margin",
+        help="sense margin at one ML swing",
+        parents=[
+            _design_flags("fefet2t_lv"),
+            _shape_flags(rows=16, cols=64),
+            _json_flags(),
+        ],
+    )
     margin.add_argument("--swing", type=float, default=0.55)
-    margin.add_argument("--rows", type=int, default=16)
-    margin.add_argument("--cols", type=int, default=64)
-    margin.add_argument("--json", action="store_true", help="emit JSON instead of text")
     margin.set_defaults(func=_cmd_margin)
 
-    mc = sub.add_parser("mc", help="Monte-Carlo margin analysis")
-    mc.add_argument("--design", default="fefet2t")
+    mc = sub.add_parser(
+        "mc",
+        help="Monte-Carlo margin analysis",
+        parents=[
+            _design_flags("fefet2t"),
+            _shape_flags(rows=16, cols=64),
+            _seed_flags(),
+            _engine_flags("the sample chunks"),
+            _json_flags(),
+        ],
+    )
     mc.add_argument("--samples", type=int, default=500)
     mc.add_argument("--sigma-scale", type=float, default=1.0)
-    mc.add_argument("--rows", type=int, default=16)
-    mc.add_argument("--cols", type=int, default=64)
-    mc.add_argument("--seed", type=int, default=0)
-    mc.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="process count for the sample chunks (default: serial)",
-    )
-    mc.add_argument(
-        "--kernel",
-        action="store_true",
-        help=(
-            "enable the compiled waveform tables on the array under "
-            "test (bit-identical margins; exercises kernel pickling "
-            "through the sample fan-out)"
-        ),
-    )
-    mc.add_argument("--json", action="store_true", help="emit JSON instead of text")
     mc.set_defaults(func=_cmd_mc)
 
-    lpm = sub.add_parser("lpm", help="IP longest-prefix-match demo")
-    lpm.add_argument("--design", default="fefet2t_lv")
+    lpm = sub.add_parser(
+        "lpm",
+        help="IP longest-prefix-match demo",
+        parents=[
+            _design_flags("fefet2t_lv"),
+            _seed_flags(),
+            _engine_flags("the batched lookups"),
+            _json_flags(),
+        ],
+    )
     lpm.add_argument("--routes", type=int, default=100)
     lpm.add_argument("--lookups", type=int, default=200)
     lpm.add_argument(
@@ -605,56 +753,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="array rows (default: routes rounded up to a power of two)",
     )
-    lpm.add_argument("--seed", type=int, default=0)
-    lpm.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="process count for the batched lookups (default: serial)",
-    )
-    lpm.add_argument(
-        "--kernel",
-        action="store_true",
-        help=(
-            "answer batched lookups from the compiled waveform tables "
-            "(bit-identical; under 'trace', kernels.* counters appear "
-            "in the metrics summary)"
-        ),
-    )
-    lpm.add_argument("--json", action="store_true", help="emit JSON instead of text")
     lpm.set_defaults(func=_cmd_lpm)
 
-    disturb = sub.add_parser("disturb", help="write-disturb accumulation")
+    disturb = sub.add_parser(
+        "disturb", help="write-disturb accumulation", parents=[_json_flags()]
+    )
     disturb.add_argument("--scheme", choices=["V/2", "V/3"], default="V/2")
     disturb.add_argument("--pulses", type=int, default=10000)
-    disturb.add_argument("--json", action="store_true", help="emit JSON instead of text")
     disturb.set_defaults(func=_cmd_disturb)
 
-    retention = sub.add_parser("retention", help="thermal retention projection")
+    retention = sub.add_parser(
+        "retention", help="thermal retention projection", parents=[_json_flags()]
+    )
     retention.add_argument("--celsius", type=float, default=85.0)
     retention.add_argument("--years", type=float, default=10.0)
-    retention.add_argument("--json", action="store_true", help="emit JSON instead of text")
     retention.set_defaults(func=_cmd_retention)
 
     report = sub.add_parser("report", help="aggregate benchmark artifacts")
     report.add_argument("--output-dir", default="benchmarks/output")
     report.add_argument("--out", default="REPORT.md")
+    report.add_argument(
+        "--bench-dir",
+        default=".",
+        help="directory whose BENCH_*.json records are schema-validated",
+    )
     report.set_defaults(func=_cmd_report)
 
-    advise_cmd = sub.add_parser("advise", help="recommend a design for a workload")
-    advise_cmd.add_argument("--rows", type=int, default=128)
-    advise_cmd.add_argument("--cols", type=int, default=64)
+    advise_cmd = sub.add_parser(
+        "advise",
+        help="recommend a design for a workload",
+        parents=[_shape_flags(rows=128, cols=64), _json_flags("a table")],
+    )
     advise_cmd.add_argument("--x-fraction", type=float, default=0.3)
     advise_cmd.add_argument("--rate", type=float, default=1e8)
     advise_cmd.add_argument("--max-latency", type=float, default=2e-9)
     advise_cmd.add_argument("--nonvolatile", action="store_true")
-    advise_cmd.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     advise_cmd.set_defaults(func=_cmd_advise)
 
-    faults = sub.add_parser("faults", help="fault-density reliability campaign")
-    faults.add_argument("--design", default="fefet2t")
-    faults.add_argument("--rows", type=int, default=32)
-    faults.add_argument("--cols", type=int, default=32)
+    faults = sub.add_parser(
+        "faults",
+        help="fault-density reliability campaign",
+        parents=[
+            _design_flags("fefet2t"),
+            _shape_flags(rows=32, cols=32),
+            _seed_flags(20260805),
+            _engine_flags("the trial fan-out"),
+            _json_flags("a table"),
+        ],
+    )
     faults.add_argument(
         "--density",
         type=float,
@@ -677,41 +823,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument("--trials", type=int, default=4)
     faults.add_argument("--keys", type=int, default=24)
-    faults.add_argument("--seed", type=int, default=20260805)
-    faults.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="process count for the trial fan-out (default: serial)",
-    )
-    faults.add_argument(
-        "--kernel",
-        action="store_true",
-        help=(
-            "route trial searches through the compiled-kernel batch "
-            "engine (bit-identical; under 'trace', kernels.* counters "
-            "appear in the metrics summary)"
-        ),
-    )
-    faults.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     faults.set_defaults(func=_cmd_faults)
 
     serve = sub.add_parser(
-        "serve", help="TCAM-as-a-service: batched lookup serving simulation"
-    )
-    serve.add_argument("--design", default="fefet2t")
-    serve.add_argument("--rows", type=int, default=32)
-    serve.add_argument("--cols", type=int, default=32)
-    serve.add_argument(
-        "--banks", type=int, default=1,
-        help="bank count; > 1 serves a TCAMChip with bank routing",
+        "serve",
+        help="TCAM-as-a-service: batched lookup serving simulation",
+        parents=[
+            _design_flags("fefet2t"),
+            _shape_flags(rows=32, cols=32),
+            _service_flags(),
+            _seed_flags(),
+            _engine_flags("the batched searches"),
+            _json_flags(),
+        ],
     )
     serve.add_argument("--requests", type=int, default=2000)
     serve.add_argument(
         "--rate", type=float, default=1e6, help="offered arrival rate [req/s]"
-    )
-    serve.add_argument(
-        "--process", choices=["poisson", "mmpp", "diurnal"], default="poisson"
     )
     serve.add_argument(
         "--policy", choices=["none", "fixed", "adaptive"], default="adaptive"
@@ -725,20 +853,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-cap", type=int, default=256,
         help="admission queue bound; 0 means unbounded",
     )
-    serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument(
-        "--workers", type=int, default=0,
-        help="process count for the batched searches (default: serial)",
-    )
-    serve.add_argument(
-        "--kernel",
-        action="store_true",
-        help="answer batches from the compiled waveform tables (bit-identical)",
-    )
-    serve.add_argument(
-        "--json", action="store_true", help="emit JSON instead of text"
-    )
     serve.set_defaults(func=_cmd_serve)
+
+    dse = sub.add_parser(
+        "dse",
+        help="design-space exploration: energy-delay-area-accuracy frontier",
+        parents=[
+            _seed_flags(),
+            _engine_flags("the design-point sweep"),
+            _json_flags("a table"),
+        ],
+    )
+    dse.add_argument(
+        "--cell",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="cell registry key; repeat to restrict (default: every cell)",
+    )
+    dse.add_argument(
+        "--rows", type=int, action="append", default=None, metavar="N",
+        help="row count; repeat for a sweep (default: 32)",
+    )
+    dse.add_argument(
+        "--cols", type=int, action="append", default=None, metavar="N",
+        help="column count; repeat for a sweep (default: 16 32)",
+    )
+    dse.add_argument(
+        "--vdd", type=float, action="append", default=None, metavar="V",
+        help="supply voltage; repeat for a sweep (default: node nominal)",
+    )
+    dse.add_argument(
+        "--segments", type=int, action="append", default=None, metavar="K",
+        help="probe-column segmentation; repeat for a sweep (default: 0 = off)",
+    )
+    dse.add_argument("--searches", type=int, default=8)
+    dse.set_defaults(func=_cmd_dse)
 
     trace = sub.add_parser(
         "trace", help="run any subcommand under the observability layer"

@@ -28,9 +28,7 @@ from ..circuits.senseamp import CurrentRaceSenseAmp, VoltageSenseAmp
 from ..errors import DesignError
 from ..tcam.array import ArrayGeometry, TCAMArray
 from ..tcam.cell import CellDescriptor
-from ..tcam.cells import CMOS16TCell, FeFET2TCell, ReRAM2T2RCell
-from ..tcam.cells.cmos16t import CMOS16TParams
-from ..tcam.cells.reram2t2r import ReRAM2T2RParams
+from ..tcam.cells import CMOS16TCell, FeFET2TCell, ReRAM2T2RCell, get_cell
 
 DEFAULT_LV_SWING = 0.55
 """Default clamped ML swing of Design LV [V].
@@ -64,6 +62,14 @@ class DesignSpec:
     is_proposed: bool
     description: str
 
+    @property
+    def cell_name(self) -> str | None:
+        """Registry key of the design's cell in :mod:`repro.tcam.cells`.
+
+        ``None`` for designs built on an unregistered custom factory.
+        """
+        return _FACTORY_CELL_NAMES.get(self.cell_factory)
+
     def build_cell(self, vdd: float | None = None) -> CellDescriptor:
         """Instantiate a fresh cell descriptor.
 
@@ -73,14 +79,20 @@ class DesignSpec:
                 the FeFET cell's search gates run from a separate
                 (boosted) search-line supply and ignore it.
         """
-        if vdd is None:
-            return self.cell_factory()
-        if self.cell_factory is CMOS16TCell:
-            return CMOS16TCell(CMOS16TParams(vdd=vdd))
-        if self.cell_factory is ReRAM2T2RCell:
-            return ReRAM2T2RCell(ReRAM2T2RParams(vdd=vdd))
+        name = _FACTORY_CELL_NAMES.get(self.cell_factory)
+        if name is not None:
+            return get_cell(name, vdd=vdd)
         return self.cell_factory()
 
+
+# Factory class -> cell-registry key: design specs predate the cell
+# registry and carry classes; the supply-aware construction itself is
+# the registry's job (one lookup surface -- see repro.tcam.cells).
+_FACTORY_CELL_NAMES: dict[Callable[[], CellDescriptor], str] = {
+    CMOS16TCell: "cmos16t",
+    ReRAM2T2RCell: "reram2t2r",
+    FeFET2TCell: "fefet2t",
+}
 
 _REGISTRY: dict[str, DesignSpec] = {}
 

@@ -1,11 +1,16 @@
-"""Energy accounting: ledgers, breakdowns and power integration."""
+"""Energy accounting: ledgers, breakdowns, estimators and power integration."""
 
 from .accounting import EnergyComponent, EnergyLedger
+from .estimator import ArrayEstimator, CellEstimator, EnergyEstimator, EstimatorError
 from .power import leakage_energy, switching_energy
 
 __all__ = [
     "EnergyComponent",
     "EnergyLedger",
+    "EnergyEstimator",
+    "CellEstimator",
+    "ArrayEstimator",
+    "EstimatorError",
     "switching_energy",
     "leakage_energy",
 ]

@@ -12,12 +12,53 @@ run ends with one reviewable artifact::
 
 from __future__ import annotations
 
+import json
 import pathlib
 import re
 
 from ..errors import ReproError
+from ..tcam.outcome import SCHEMA_VERSION
 
 _ID_PATTERN = re.compile(r"^R-([FT])(\d+)")
+
+#: Artifact schema versions this build knows how to read.
+SUPPORTED_BENCH_SCHEMAS = (SCHEMA_VERSION,)
+
+
+def validate_bench_artifacts(
+    bench_dir: str | pathlib.Path = ".",
+) -> tuple[pathlib.Path, ...]:
+    """Check ``schema_version`` on every ``BENCH_*.json`` under ``bench_dir``.
+
+    Every benchmark record carries the schema version it was written
+    with; a report built from artifacts this code cannot interpret would
+    silently mix incompatible number layouts, so the mismatch is an
+    error, not a warning.
+
+    Returns:
+        The validated artifact paths (possibly empty -- a tree without
+        benchmark records is fine).
+
+    Raises:
+        ReproError: for unparsable artifacts, records without a
+            ``schema_version``, or versions this build does not read.
+    """
+    directory = pathlib.Path(bench_dir)
+    checked: list[pathlib.Path] = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"benchmark artifact {path} is not valid JSON: {exc}") from exc
+        version = record.get("schema_version") if isinstance(record, dict) else None
+        if version not in SUPPORTED_BENCH_SCHEMAS:
+            supported = ", ".join(str(v) for v in SUPPORTED_BENCH_SCHEMAS)
+            raise ReproError(
+                f"benchmark artifact {path} has unknown schema_version "
+                f"{version!r}; this build reads version(s) {supported}"
+            )
+        checked.append(path)
+    return tuple(checked)
 
 
 def _sort_key(path: pathlib.Path) -> tuple[int, int, str]:

@@ -21,8 +21,8 @@ injection tests and the Monte-Carlo yield analysis).
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, replace
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from ..circuits.searchline import SearchLine, count_toggles
 from ..circuits.senseamp import CurrentRaceSenseAmp, VoltageSenseAmp
 from ..circuits.wire import M2_WIRE, M4_WIRE, WireModel
 from ..energy.accounting import EnergyComponent, EnergyLedger
+from ..energy.estimator import ArrayEstimator
 from ..errors import TCAMError
 from ..faults.faultmap import FaultKind, FaultMap
 from ..parallel import (
@@ -284,6 +285,11 @@ class TCAMArray:
         ml_wire: Match-line routing layer.
         sl_wire: Search-line routing layer.
         encoder: Priority encoder; defaults to one sized for ``rows``.
+        estimator: Energy estimator every ledger booking routes through;
+            defaults to an :class:`~repro.energy.estimator.ArrayEstimator`
+            over this array's cell and sensing chain (bit-identical to
+            the historical inline accounting).  Pass a factory to study
+            alternative cost models without touching the physics.
         use_kernel: Enable the compiled search kernel (tabulated
             discharge endpoints + SoA batch state, see
             :mod:`repro.kernels`) for ``search_batch``; equivalent to
@@ -305,6 +311,7 @@ class TCAMArray:
         ml_wire: WireModel = M2_WIRE,
         sl_wire: WireModel = M4_WIRE,
         encoder: PriorityEncoder | None = None,
+        estimator: "Callable[[TCAMArray], ArrayEstimator] | None" = None,
         use_kernel: bool = False,
     ) -> None:
         if sensing not in _SENSING_STYLES:
@@ -383,6 +390,11 @@ class TCAMArray:
                 raise TCAMError(f"t_eval must be positive, got {self.t_eval}")
         else:
             self.t_eval = self.race_amp.cutoff_time(self.c_ml)
+
+        # Energy protocol -----------------------------------------------------
+        # Every ledger booking below goes through this estimator; the
+        # default reproduces the historical inline formulas bit for bit.
+        self.estimator = ArrayEstimator(self) if estimator is None else estimator(self)
 
         if use_kernel:
             self.enable_kernel()
@@ -471,7 +483,7 @@ class TCAMArray:
         for col in range(self.geometry.cols):
             old_trit = Trit(int(self._stored[row, col]))
             new_trit = Trit(int(new[col]))
-            cost = self.cell.write_cost(old_trit, new_trit)
+            cost = self.estimator.write_cost(old_trit, new_trit)
             ledger.add(EnergyComponent.WRITE, cost.energy)
             latency = max(latency, cost.latency)
             if old_trit is not new_trit:
@@ -715,7 +727,7 @@ class TCAMArray:
                         t_sa = res.t_sense
                         e_sense = res.e_sense
                     else:
-                        decision = self.sense_amp.strobe(res.v_end - offset)
+                        decision = self.estimator.sense(res.v_end, offset)
                         physical[r] = decision.is_match
                         t_sa = decision.delay
                         e_sense = decision.energy
@@ -742,12 +754,7 @@ class TCAMArray:
                         for dvt in fm.value[r][weak[r]]:
                             i_total += self.cell.i_pulldown(v_trip, float(dvt))
                     offset = float(fm.sa_offset[r])
-                    amp = (
-                        self.race_amp
-                        if offset == 0.0
-                        else replace(self.race_amp, offset=offset)
-                    )
-                    decision = amp.evaluate(self.c_ml, i_total)
+                    decision = self.estimator.race(i_total, offset)
                     physical[r] = decision.is_match
                     ledger.add(EnergyComponent.RACE_SOURCE, decision.energy)
                 cutoff = self.race_amp.cutoff_time(self.c_ml)
@@ -757,20 +764,14 @@ class TCAMArray:
                 t_sense = self.race_amp.t_window
                 t_cycle = self.race_amp.t_window
 
-        ledger.add(EnergyComponent.PRIORITY_ENCODER, self.encoder.energy_per_search)
+        ledger.add(EnergyComponent.PRIORITY_ENCODER, self.estimator.encode_energy())
         effective = physical & self._valid
         first = self.encoder.encode(effective)
 
         search_delay = self.sl_settle_delay + t_sense + self.encoder.delay
         cycle_time = self.sl_settle_delay + t_cycle
 
-        leak = (
-            self.geometry.rows
-            * self.geometry.cols
-            * self.cell.standby_leakage(self.vdd)
-            * self.vdd
-            * cycle_time
-        )
+        leak = self.estimator.leakage_power(self.vdd) * cycle_time
         ledger.add(EnergyComponent.LEAKAGE, leak)
 
         # Histogram over the hardware's effective content; the error
@@ -974,7 +975,7 @@ class TCAMArray:
         miss_all = mismatch_counts_batch(self._stored, packed)
         driven_all = np.count_nonzero(packed != int(Trit.X), axis=1)
         toggles = self._batch_toggles(packed)
-        e_toggle = self.search_line.toggle_energy(self.cell.v_search)
+        e_toggle = self.estimator.sl_toggle_energy()
 
         # Per-key class grouping (one np.unique per key, reused for the
         # histogram), plus the distinct class set of the whole batch.
@@ -1319,21 +1320,16 @@ class TCAMArray:
             miss_all = soa.mismatch_counts(packed)
             driven_all = np.count_nonzero(packed != int(Trit.X), axis=1)
             toggles = self._batch_toggles(packed)
-            e_toggle = self.search_line.toggle_energy(self.cell.v_search)
+            e_toggle = self.estimator.sl_toggle_energy()
             outcomes: list[SearchOutcome | None] = [None] * n_keys
             any_active = bool(np.any(active))
             sl_delay = self.sl_settle_delay
-            enc_energy = self.encoder.energy_per_search
+            enc_energy = self.estimator.encode_energy()
             enc_delay = self.encoder.delay
             # Exactly the legacy leakage expression sans the trailing
             # ``* cycle_time`` factor (left-associative, so the prefix
             # product is a common subexpression).
-            k_leak = (
-                self.geometry.rows
-                * self.geometry.cols
-                * self.cell.standby_leakage(self.vdd)
-                * self.vdd
-            )
+            k_leak = self.estimator.leakage_power(self.vdd)
 
             # Dense per-(key, class) row counts over the active and valid
             # row subsets: one offset bincount each.
@@ -1475,8 +1471,7 @@ class TCAMArray:
         else:
             previous = self._last_drive
         toggles = count_toggles(previous, drive)
-        v_sl = self.cell.v_search
-        ledger.add(EnergyComponent.SEARCHLINE, toggles * self.search_line.toggle_energy(v_sl))
+        ledger.add(EnergyComponent.SEARCHLINE, toggles * self.estimator.sl_toggle_energy())
         self._last_drive = drive
 
     def _batch_toggles(self, packed: np.ndarray) -> np.ndarray:
@@ -1555,10 +1550,9 @@ class TCAMArray:
         return self._precharge_class_from_v_end(v_end)
 
     def _precharge_class_from_v_end(self, v_end: float) -> _PrechargeClassResult:
-        v_pre = self.precharge.target_voltage()
-        decision = self.sense_amp.strobe(v_end)
-        e_restore = self.precharge.restore_energy(self.c_ml, v_end)
-        e_diss = 0.5 * self.c_ml * (v_pre**2 - v_end**2)
+        decision = self.estimator.sense(v_end)
+        e_restore = self.estimator.ml_precharge_energy(v_end)
+        e_diss = self.estimator.ml_dissipation_energy(v_end)
         return _PrechargeClassResult(
             v_end=v_end,
             is_match=decision.is_match,
@@ -1577,7 +1571,7 @@ class TCAMArray:
         i_total = int(n_miss) * self.cell.i_pulldown(v_trip) + n_match * self.cell.i_leak(
             v_trip
         )
-        decision = race.evaluate(self.c_ml, i_total)
+        decision = self.estimator.race(i_total)
         return _RaceClassResult(
             is_match=decision.is_match, energy=decision.energy, delay=decision.delay
         )
@@ -1641,7 +1635,7 @@ class TCAMArray:
                 t_cycle = self.race_amp.t_window
 
         # Priority encoding --------------------------------------------------
-        ledger.add(EnergyComponent.PRIORITY_ENCODER, self.encoder.energy_per_search)
+        ledger.add(EnergyComponent.PRIORITY_ENCODER, self.estimator.encode_energy())
         effective = physical & self._valid
         first = self.encoder.encode(effective)
 
@@ -1649,13 +1643,7 @@ class TCAMArray:
         cycle_time = self.sl_settle_delay + t_cycle
 
         # Standby leakage over the cycle ----------------------------------------
-        leak = (
-            self.geometry.rows
-            * self.geometry.cols
-            * self.cell.standby_leakage(self.vdd)
-            * self.vdd
-            * cycle_time
-        )
+        leak = self.estimator.leakage_power(self.vdd) * cycle_time
         ledger.add(EnergyComponent.LEAKAGE, leak)
 
         logical_match = (miss == 0) & self._valid & active
@@ -1748,23 +1736,30 @@ class TCAMArray:
         # droops only.  Restore costs follow.
         n_losers = int(np.count_nonzero(miss[valid_idx] > best_distance))
         n_winners = int(valid_idx.size - n_losers)
-        e_full = self.precharge.restore_energy(self.c_ml, 0.0)
-        ledger.add(EnergyComponent.ML_PRECHARGE, n_losers * e_full)
-        ledger.add(EnergyComponent.ML_DISSIPATION, n_losers * 0.5 * self.c_ml * v_pre**2)
+        ledger.add(
+            EnergyComponent.ML_PRECHARGE, self.estimator.ml_precharge_energy(0.0, n_losers)
+        )
+        ledger.add(
+            EnergyComponent.ML_DISSIPATION,
+            self.estimator.ml_dissipation_energy(0.0, n_losers),
+        )
         if best_distance == 0:
             v_winner = self._ml_voltage_after_eval(0, driven_cols, v_pre)
         else:
             v_winner = 0.0  # the winner itself also discharges, just last
-            ledger.add(EnergyComponent.ML_DISSIPATION, n_winners * 0.5 * self.c_ml * v_pre**2)
+            ledger.add(
+                EnergyComponent.ML_DISSIPATION,
+                self.estimator.ml_dissipation_energy(0.0, n_winners),
+            )
         ledger.add(
             EnergyComponent.ML_PRECHARGE,
-            n_winners * self.precharge.restore_energy(self.c_ml, v_winner),
+            self.estimator.ml_precharge_energy(v_winner, n_winners),
         )
         ledger.add(
             EnergyComponent.SENSE_AMP,
-            valid_idx.size * self.sense_amp.c_internal * self.vdd**2,
+            self.estimator.sense_idle_energy(valid_idx.size),
         )
-        ledger.add(EnergyComponent.PRIORITY_ENCODER, self.encoder.energy_per_search)
+        ledger.add(EnergyComponent.PRIORITY_ENCODER, self.estimator.encode_energy())
 
         delay = self.sl_settle_delay + t_window + self.encoder.delay
         ledger.add(EnergyComponent.LEAKAGE, self.standby_power() * delay)
@@ -1817,7 +1812,7 @@ class TCAMArray:
         miss_all = mismatch_counts_batch(self._stored, packed)
         driven_all = np.count_nonzero(packed != int(Trit.X), axis=1)
         toggles = self._batch_toggles(packed)
-        e_toggle = self.search_line.toggle_energy(self.cell.v_search)
+        e_toggle = self.estimator.sl_toggle_energy()
 
         valid_idx = np.flatnonzero(self._valid)
         v_pre = self.precharge.target_voltage()
@@ -1841,10 +1836,13 @@ class TCAMArray:
 
             n_losers = int(np.count_nonzero(miss[valid_idx] > best_distance))
             n_winners = int(valid_idx.size - n_losers)
-            e_full = self.precharge.restore_energy(self.c_ml, 0.0)
-            ledger.add(EnergyComponent.ML_PRECHARGE, n_losers * e_full)
             ledger.add(
-                EnergyComponent.ML_DISSIPATION, n_losers * 0.5 * self.c_ml * v_pre**2
+                EnergyComponent.ML_PRECHARGE,
+                self.estimator.ml_precharge_energy(0.0, n_losers),
+            )
+            ledger.add(
+                EnergyComponent.ML_DISSIPATION,
+                self.estimator.ml_dissipation_energy(0.0, n_losers),
             )
             if best_distance == 0:
                 v_winner = self._cached_class(0, driven_cols).v_end
@@ -1852,17 +1850,17 @@ class TCAMArray:
                 v_winner = 0.0
                 ledger.add(
                     EnergyComponent.ML_DISSIPATION,
-                    n_winners * 0.5 * self.c_ml * v_pre**2,
+                    self.estimator.ml_dissipation_energy(0.0, n_winners),
                 )
             ledger.add(
                 EnergyComponent.ML_PRECHARGE,
-                n_winners * self.precharge.restore_energy(self.c_ml, v_winner),
+                self.estimator.ml_precharge_energy(v_winner, n_winners),
             )
             ledger.add(
                 EnergyComponent.SENSE_AMP,
-                valid_idx.size * self.sense_amp.c_internal * self.vdd**2,
+                self.estimator.sense_idle_energy(valid_idx.size),
             )
-            ledger.add(EnergyComponent.PRIORITY_ENCODER, self.encoder.energy_per_search)
+            ledger.add(EnergyComponent.PRIORITY_ENCODER, self.estimator.encode_energy())
 
             delay = self.sl_settle_delay + t_window + self.encoder.delay
             ledger.add(EnergyComponent.LEAKAGE, self.standby_power() * delay)
@@ -1909,12 +1907,7 @@ class TCAMArray:
 
     def standby_power(self) -> float:
         """Array standby power [W] at the configured supply."""
-        return (
-            self.geometry.rows
-            * self.geometry.cols
-            * self.cell.standby_leakage(self.vdd)
-            * self.vdd
-        )
+        return self.estimator.leakage_power(self.vdd)
 
     def occupancy(self) -> float:
         """Fraction of rows holding valid entries."""

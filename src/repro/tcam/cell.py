@@ -116,6 +116,27 @@ class CellDescriptor(abc.ABC):
         leak only through the (idle) compare path.
         """
 
+    # -- density / fidelity (multi-bit and analog cells override) -------------
+
+    @property
+    def bits_per_cell(self) -> float:
+        """Stored bits per physical cell (1 for digital ternary cells).
+
+        Multi-bit cells report their bit count, analog cells the base-2
+        log of their distinguishable states; the design-space explorer
+        divides area by this to compare technologies per stored bit.
+        """
+        return 1.0
+
+    def match_accuracy(self) -> float:
+        """Per-cell probability of a correct match decision (ideal: 1.0).
+
+        Digital cells decide deterministically; multi-bit and analog
+        cells derate for programming noise against their level / window
+        margins.
+        """
+        return 1.0
+
     # -- conveniences -----------------------------------------------------------
 
     def on_off_ratio(self, v_ml: float) -> float:

@@ -1,15 +1,132 @@
-"""Cell descriptors, one per TCAM technology."""
+"""Cell descriptors, one per TCAM technology, behind one registry.
 
-from .cmos16t import CMOS16TCell
-from .reram2t2r import ReRAM2T2RCell
-from .fefet2t import FeFET2TCell, default_fefet_cell_params
+:func:`get_cell` / :func:`list_cells` are the canonical lookup surface;
+the concrete classes remain importable for parameterized construction.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from .cmos16t import CMOS16TCell, CMOS16TParams
+from .fecam import FeCAMCell, FeCAMCellParams
+from .fefet2t import FeFET2TCell, FeFET2TCellParams
 from .fefet_mlc import MLCFeFETCell, MLCFeFETCellParams
+from .registry import (
+    CellSpec,
+    all_cell_specs,
+    cell_spec,
+    get_cell,
+    list_cells,
+    register_cell,
+)
+from .reram2t2r import ReRAM2T2RCell, ReRAM2T2RParams
+from .seemcam import SEEMCAMCell, SEEMCAMCellParams
 
 __all__ = [
+    "CellSpec",
+    "register_cell",
+    "cell_spec",
+    "get_cell",
+    "list_cells",
+    "all_cell_specs",
     "CMOS16TCell",
+    "CMOS16TParams",
     "ReRAM2T2RCell",
+    "ReRAM2T2RParams",
     "FeFET2TCell",
-    "default_fefet_cell_params",
+    "FeFET2TCellParams",
     "MLCFeFETCell",
     "MLCFeFETCellParams",
+    "SEEMCAMCell",
+    "SEEMCAMCellParams",
+    "FeCAMCell",
+    "FeCAMCellParams",
 ]
+
+
+register_cell(
+    CellSpec(
+        name="cmos16t",
+        display_name="CMOS 16T",
+        factory=lambda vdd: CMOS16TCell(CMOS16TParams(vdd=vdd)) if vdd is not None else CMOS16TCell(),
+        description="16T CMOS NOR cell; compare gates ride the array supply.",
+    )
+)
+
+register_cell(
+    CellSpec(
+        name="reram2t2r",
+        display_name="ReRAM 2T-2R",
+        factory=lambda vdd: ReRAM2T2RCell(ReRAM2T2RParams(vdd=vdd)) if vdd is not None else ReRAM2T2RCell(),
+        description="Resistive 2T-2R cell; access gates ride the array supply.",
+    )
+)
+
+register_cell(
+    CellSpec(
+        name="fefet2t",
+        display_name="FeFET 2T",
+        # The FeFET search gates run from a separate (boosted) SL supply,
+        # so the array supply does not re-characterize the cell.
+        factory=lambda vdd: FeFET2TCell(),
+        description="2-FeFET non-volatile cell; the paper's substrate.",
+    )
+)
+
+register_cell(
+    CellSpec(
+        name="fefet_mlc",
+        display_name="FeFET MLC (weighted)",
+        factory=lambda vdd: MLCFeFETCell(),
+        description="Multi-level 2-FeFET cell for weighted-distance search.",
+        proposed=True,
+    )
+)
+
+register_cell(
+    CellSpec(
+        name="seemcam",
+        display_name="FeFET multi-bit (SEE-MCAM)",
+        factory=lambda vdd: SEEMCAMCell(),
+        description="Multi-bit 2-FeFET cell: 2^b levels, b bits per cell.",
+        proposed=True,
+    )
+)
+
+register_cell(
+    CellSpec(
+        name="fecam",
+        display_name="FeFET analog (FeCAM)",
+        factory=lambda vdd: FeCAMCell(),
+        description="Analog FeFET distance cell with a tunable match window.",
+        proposed=True,
+    )
+)
+
+
+# -- deprecation shims --------------------------------------------------------
+# Legacy package-level aliases that predate the registry.  They keep
+# working, but new code should reach the canonical home (or the registry)
+# instead; each access warns once per call site.
+_DEPRECATED_ALIASES = {
+    "default_fefet_cell_params": (
+        "repro.tcam.cells.fefet2t.default_fefet_cell_params",
+        lambda: __import__(
+            "repro.tcam.cells.fefet2t", fromlist=["default_fefet_cell_params"]
+        ).default_fefet_cell_params,
+    ),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_ALIASES:
+        canonical, resolve = _DEPRECATED_ALIASES[name]
+        warnings.warn(
+            f"importing {name!r} from repro.tcam.cells is deprecated; "
+            f"use {canonical} (cell lookup itself goes through get_cell())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return resolve()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

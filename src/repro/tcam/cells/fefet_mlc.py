@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from ...devices.mosfet import ekv_current
 from ...errors import TCAMError
 from ...units import thermal_voltage
-from ..cell import WriteCost
+from ..cell import CellDescriptor, WriteCost
 from ..trit import Trit
 from .fefet2t import FeFET2TCellParams
 
@@ -55,11 +55,16 @@ class MLCFeFETCellParams:
             raise TCAMError(f"level_sigma must be in [0, 1), got {self.level_sigma}")
 
 
-class MLCFeFETCell:
+class MLCFeFETCell(CellDescriptor):
     """Descriptor for the weighted (MLC) 2-FeFET TCAM cell.
 
     Shares the binary cell's capacitances, write scheme and leakage; only
-    the mismatch pull-down becomes level-dependent.
+    the mismatch pull-down becomes level-dependent.  As a
+    :class:`~repro.tcam.cell.CellDescriptor` the plain :meth:`i_pulldown`
+    reports the fully-programmed (strongest) level, so an exact-match
+    array built on this cell behaves like the binary 2-FeFET cell with
+    the MLC thresholds; the weighted engine reads the level-resolved
+    :meth:`i_pulldown_level` instead.
     """
 
     def __init__(self, params: MLCFeFETCellParams | None = None, temperature_k: float = 300.0) -> None:
@@ -114,6 +119,16 @@ class MLCFeFETCell:
         return "fefet_mlc"
 
     @property
+    def transistor_count(self) -> int:
+        """Two FeFETs, like the binary cell -- MLC adds no devices."""
+        return 2
+
+    @property
+    def nonvolatile(self) -> bool:
+        """Polarization levels retain without power."""
+        return True
+
+    @property
     def n_levels(self) -> int:
         """Programmable strength levels."""
         return self.params.n_levels
@@ -138,9 +153,18 @@ class MLCFeFETCell:
         """Cell area [F^2] -- MLC adds no devices."""
         return self.params.base.area_f2
 
-    def i_leak(self, v_ml: float) -> float:
+    def i_pulldown(self, v_ml: float, vt_offset: float = 0.0) -> float:
+        """Mismatch current at full programming strength [A].
+
+        The exact-match array senses every mismatching cell at the
+        strongest level (``level == n_levels``); graded strengths are the
+        weighted engine's domain (:meth:`i_pulldown_level`).
+        """
+        return self.i_pulldown_level(v_ml, self.params.n_levels, vt_offset)
+
+    def i_leak(self, v_ml: float, vt_offset: float = 0.0) -> float:
         """Matching-cell leakage (binary HVT path, level-independent) [A]."""
-        return self._binary.i_leak(v_ml)
+        return self._binary.i_leak(v_ml, vt_offset)
 
     def write_cost(self, old: Trit, new: Trit) -> WriteCost:
         """Write cost; MLC programming uses the same erase+program pulses

@@ -1,0 +1,102 @@
+"""The cell registry: one lookup surface for every TCAM cell technology.
+
+Before this module, name-to-cell lookup was scattered: the design
+registry special-cased supply re-characterization per class, the CLI and
+test fixtures each kept their own name->factory dicts, and new cells had
+to be threaded through all of them.  A :class:`CellSpec` now carries the
+name, the (supply-aware) factory and the presentation metadata in one
+place; :func:`get_cell` / :func:`list_cells` are the only lookup calls
+the rest of the tree needs.
+
+Registration is open: downstream experiments call
+:func:`register_cell` with their own spec and immediately appear in
+``repro designs``, the conformance test suite and the ``repro dse``
+design-space sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ...errors import TCAMError
+from ..cell import CellDescriptor
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Declarative description of one registered cell technology.
+
+    Attributes:
+        name: Registry key (matches the descriptor's ``technology`` id).
+        display_name: Human-readable label for tables.
+        factory: Builds a descriptor; receives the array supply [V] or
+            ``None`` for the technology's nominal characterization.
+            Cells whose compare gates ride the array supply re-derive
+            their parameters from it; others ignore the argument.
+        description: One-line summary for reports.
+        proposed: True for cells introduced beyond the paper's baselines.
+    """
+
+    name: str
+    display_name: str
+    factory: Callable[[float | None], CellDescriptor]
+    description: str
+    proposed: bool = False
+
+    def build(self, vdd: float | None = None) -> CellDescriptor:
+        """Instantiate a fresh descriptor (at ``vdd`` when given)."""
+        return self.factory(vdd)
+
+
+_REGISTRY: dict[str, CellSpec] = {}
+
+
+def register_cell(spec: CellSpec) -> CellSpec:
+    """Add a cell technology to the registry.
+
+    Raises:
+        TCAMError: on duplicate names.
+    """
+    if spec.name in _REGISTRY:
+        raise TCAMError(f"duplicate cell name {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def cell_spec(name: str) -> CellSpec:
+    """Look up a cell spec by registry key.
+
+    Raises:
+        TCAMError: for unknown names (message lists the valid keys).
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise TCAMError(
+            f"unknown cell {name!r}; valid cells: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def get_cell(name: str, vdd: float | None = None) -> CellDescriptor:
+    """Instantiate a registered cell technology by name.
+
+    Args:
+        name: Registry key (``list_cells()`` enumerates them).
+        vdd: Array supply [V]; supply-riding cells re-characterize at
+            it, others ignore it.
+
+    Raises:
+        TCAMError: for unknown names.
+    """
+    return cell_spec(name).build(vdd)
+
+
+def list_cells() -> tuple[str, ...]:
+    """Registry keys in registration (presentation) order."""
+    return tuple(_REGISTRY)
+
+
+def all_cell_specs() -> tuple[CellSpec, ...]:
+    """Every registered cell spec, baselines first."""
+    return tuple(_REGISTRY.values())

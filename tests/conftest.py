@@ -7,7 +7,7 @@ import pytest
 
 from repro.core import all_designs, build_array, get_design
 from repro.tcam import ArrayGeometry
-from repro.tcam.cells import CMOS16TCell, FeFET2TCell, ReRAM2T2RCell
+from repro.tcam.cells import get_cell
 
 
 @pytest.fixture
@@ -31,12 +31,7 @@ def medium_geometry() -> ArrayGeometry:
 @pytest.fixture(params=["cmos16t", "reram2t2r", "fefet2t"])
 def any_cell(request):
     """One cell descriptor per technology (parametrized)."""
-    factories = {
-        "cmos16t": CMOS16TCell,
-        "reram2t2r": ReRAM2T2RCell,
-        "fefet2t": FeFET2TCell,
-    }
-    return factories[request.param]()
+    return get_cell(request.param)
 
 
 @pytest.fixture(params=[spec.name for spec in all_designs()])

@@ -1,0 +1,68 @@
+"""Benchmark-artifact schema validation behind ``repro report``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.reporting.aggregate import (
+    SUPPORTED_BENCH_SCHEMAS,
+    validate_bench_artifacts,
+)
+from repro.tcam.outcome import SCHEMA_VERSION
+
+
+def _write(path, record):
+    path.write_text(json.dumps(record))
+
+
+class TestValidateBenchArtifacts:
+    def test_current_schema_accepted(self, tmp_path):
+        _write(tmp_path / "BENCH_demo.json", {"schema_version": SCHEMA_VERSION})
+        checked = validate_bench_artifacts(tmp_path)
+        assert [p.name for p in checked] == ["BENCH_demo.json"]
+
+    def test_paths_returned_sorted(self, tmp_path):
+        for name in ("BENCH_zeta.json", "BENCH_alpha.json"):
+            _write(tmp_path / name, {"schema_version": SCHEMA_VERSION})
+        checked = validate_bench_artifacts(tmp_path)
+        assert [p.name for p in checked] == ["BENCH_alpha.json", "BENCH_zeta.json"]
+
+    def test_unknown_version_rejected(self, tmp_path):
+        future = max(SUPPORTED_BENCH_SCHEMAS) + 1
+        _write(tmp_path / "BENCH_future.json", {"schema_version": future})
+        with pytest.raises(ReproError, match="unknown schema_version"):
+            validate_bench_artifacts(tmp_path)
+
+    def test_missing_version_rejected(self, tmp_path):
+        _write(tmp_path / "BENCH_legacy.json", {"seed": 1, "rows": []})
+        with pytest.raises(ReproError, match="schema_version"):
+            validate_bench_artifacts(tmp_path)
+
+    def test_non_object_record_rejected(self, tmp_path):
+        _write(tmp_path / "BENCH_list.json", [1, 2, 3])
+        with pytest.raises(ReproError, match="schema_version"):
+            validate_bench_artifacts(tmp_path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        (tmp_path / "BENCH_corrupt.json").write_text("{not json")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            validate_bench_artifacts(tmp_path)
+
+    def test_empty_directory_is_fine(self, tmp_path):
+        assert validate_bench_artifacts(tmp_path) == ()
+
+    def test_unrelated_files_ignored(self, tmp_path):
+        (tmp_path / "notes.json").write_text("{broken")
+        _write(tmp_path / "BENCH_ok.json", {"schema_version": SCHEMA_VERSION})
+        assert len(validate_bench_artifacts(tmp_path)) == 1
+
+    def test_repo_artifacts_all_pass(self):
+        """The checked-in BENCH_*.json records carry the current schema."""
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        checked = validate_bench_artifacts(repo_root)
+        assert len(checked) >= 5

@@ -1,0 +1,126 @@
+"""The cell registry: one lookup surface, open registration, shims."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import all_designs
+from repro.errors import TCAMError
+from repro.tcam.cell import CellDescriptor
+from repro.tcam.cells import (
+    CellSpec,
+    FeFET2TCell,
+    all_cell_specs,
+    cell_spec,
+    get_cell,
+    list_cells,
+    register_cell,
+)
+from repro.tcam.cells.registry import _REGISTRY
+
+
+class TestLookup:
+    def test_baseline_and_proposed_cells_registered(self):
+        names = list_cells()
+        assert {"cmos16t", "reram2t2r", "fefet2t"} <= set(names)
+        assert {"fefet_mlc", "seemcam", "fecam"} <= set(names)
+
+    def test_baselines_listed_before_proposed(self):
+        names = list_cells()
+        assert names.index("cmos16t") < names.index("seemcam")
+
+    def test_get_cell_builds_fresh_descriptors(self):
+        a = get_cell("fefet2t")
+        b = get_cell("fefet2t")
+        assert isinstance(a, FeFET2TCell)
+        assert a is not b
+
+    def test_every_spec_builds_a_descriptor(self):
+        for spec in all_cell_specs():
+            cell = spec.build()
+            assert isinstance(cell, CellDescriptor)
+            assert cell.area_f2 > 0.0
+
+    def test_unknown_name_error_lists_valid_keys(self):
+        with pytest.raises(TCAMError, match="valid cells.*fefet2t"):
+            get_cell("frobnium")
+
+    def test_spec_metadata(self):
+        spec = cell_spec("seemcam")
+        assert spec.proposed
+        assert spec.display_name
+        assert spec.description
+        assert not cell_spec("cmos16t").proposed
+
+
+class TestSupplyAwareness:
+    def test_supply_riding_cells_recharacterize(self):
+        """CMOS compare gates ride VDD: lower supply, weaker pulldown."""
+        strong = get_cell("cmos16t", vdd=1.1)
+        weak = get_cell("cmos16t", vdd=0.7)
+        assert weak.i_pulldown(0.5) < strong.i_pulldown(0.5)
+
+    def test_boosted_gate_cells_ignore_supply(self):
+        """FeFET search gates run from a separate SL supply."""
+        a = get_cell("fefet2t", vdd=0.7)
+        b = get_cell("fefet2t", vdd=1.1)
+        assert a.i_pulldown(0.5) == b.i_pulldown(0.5)
+
+
+class TestOpenRegistration:
+    def test_duplicate_name_rejected(self):
+        spec = cell_spec("fefet2t")
+        with pytest.raises(TCAMError, match="duplicate"):
+            register_cell(spec)
+
+    def test_downstream_registration_round_trips(self):
+        spec = CellSpec(
+            name="test_custom_cell",
+            display_name="Custom",
+            factory=lambda vdd: FeFET2TCell(),
+            description="registered by the test suite",
+            proposed=True,
+        )
+        register_cell(spec)
+        try:
+            assert "test_custom_cell" in list_cells()
+            assert isinstance(get_cell("test_custom_cell"), FeFET2TCell)
+        finally:
+            _REGISTRY.pop("test_custom_cell")
+
+
+class TestDesignRegistryIntegration:
+    def test_design_cells_resolve_through_registry(self):
+        for spec in all_designs():
+            if spec.cell_name is not None:
+                assert spec.cell_name in list_cells()
+                built = spec.build_cell()
+                named = get_cell(spec.cell_name)
+                assert type(built) is type(named)
+
+    def test_supply_threads_through_build_cell(self):
+        spec = next(s for s in all_designs() if s.cell_name == "cmos16t")
+        weak = spec.build_cell(vdd=0.7)
+        strong = spec.build_cell(vdd=1.1)
+        assert weak.i_pulldown(0.5) < strong.i_pulldown(0.5)
+
+
+class TestDeprecationShims:
+    def test_package_level_default_params_warns(self):
+        import repro.tcam.cells as cells_pkg
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fn = cells_pkg.default_fefet_cell_params
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        from repro.tcam.cells.fefet2t import default_fefet_cell_params
+
+        assert fn() == default_fefet_cell_params()
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.tcam.cells as cells_pkg
+
+        with pytest.raises(AttributeError):
+            cells_pkg.no_such_symbol

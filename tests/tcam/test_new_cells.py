@@ -1,0 +1,158 @@
+"""The multi-bit (SEE-MCAM) and analog (FeCAM) cell descriptors."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TCAMError
+from repro.tcam import ArrayGeometry
+from repro.tcam.array import TCAMArray
+from repro.tcam.cells import (
+    FeCAMCell,
+    FeCAMCellParams,
+    FeFET2TCell,
+    SEEMCAMCell,
+    SEEMCAMCellParams,
+    get_cell,
+)
+from repro.tcam.trit import Trit, random_word
+
+
+class TestSEEMCAMCell:
+    def test_bits_set_level_count_and_density(self):
+        for bits in (1, 2, 3, 4):
+            cell = SEEMCAMCell(SEEMCAMCellParams(bits=bits))
+            assert cell.n_levels == 2**bits
+            assert cell.bits_per_cell == float(bits)
+
+    def test_bits_bounds_enforced(self):
+        with pytest.raises(TCAMError):
+            SEEMCAMCellParams(bits=0)
+        with pytest.raises(TCAMError):
+            SEEMCAMCellParams(bits=5)
+
+    def test_footprint_matches_binary_cell(self):
+        """Density comes from finer programming, not more silicon."""
+        mlc = SEEMCAMCell()
+        binary = FeFET2TCell()
+        assert mlc.area_f2 == binary.area_f2
+        assert mlc.transistor_count == binary.transistor_count
+
+    def test_adjacent_level_margin_weaker_than_binary(self):
+        """The margin-setting mismatch is one level step, not the full window."""
+        mlc = SEEMCAMCell()
+        binary = FeFET2TCell()
+        assert 0.0 < mlc.i_pulldown(0.5) < binary.i_pulldown(0.5)
+
+    def test_more_bits_weaker_margin(self):
+        i2 = SEEMCAMCell(SEEMCAMCellParams(bits=2)).i_pulldown(0.5)
+        i3 = SEEMCAMCell(SEEMCAMCellParams(bits=3)).i_pulldown(0.5)
+        assert i3 < i2
+
+    def test_write_pays_program_verify_per_extra_bit(self):
+        binary = FeFET2TCell()
+        base = binary.write_cost(Trit.ZERO, Trit.ONE)
+        for bits in (1, 2, 3):
+            cell = SEEMCAMCell(SEEMCAMCellParams(bits=bits))
+            cost = cell.write_cost(Trit.ZERO, Trit.ONE)
+            scale = 1.0 + cell.mb_params.verify_overhead * (bits - 1)
+            assert cost.energy == pytest.approx(base.energy * scale)
+            assert cell.write_cost(Trit.ONE, Trit.ONE).energy == 0.0
+
+    def test_accuracy_decreases_with_bits(self):
+        accs = [
+            SEEMCAMCell(SEEMCAMCellParams(bits=b)).match_accuracy()
+            for b in (1, 2, 3, 4)
+        ]
+        assert all(0.0 < a <= 1.0 for a in accs)
+        assert accs == sorted(accs, reverse=True)
+
+    def test_ideal_placement_is_exact(self):
+        cell = SEEMCAMCell(SEEMCAMCellParams(level_sigma=0.0))
+        assert cell.match_accuracy() == 1.0
+
+    def test_functional_in_an_array(self):
+        cell = get_cell("seemcam")
+        array = TCAMArray(cell, ArrayGeometry(8, 16))
+        rng = np.random.default_rng(42)
+        words = [random_word(16, rng, x_fraction=0.3) for _ in range(8)]
+        array.load(words)
+        out = array.search(words[3])
+        assert out.match_mask[3]
+        assert out.functional_errors == 0
+        assert out.energy.total > 0.0
+
+
+class TestFeCAMCell:
+    def test_density_from_window_ratio(self):
+        cell = FeCAMCell()
+        states = cell.params.base.fefet.memory_window / (
+            2.0 * cell.params.half_window
+        )
+        assert cell.bits_per_cell == pytest.approx(math.log2(states))
+        assert cell.bits_per_cell > 1.0
+
+    def test_narrower_window_buys_bits(self):
+        wide = FeCAMCell(FeCAMCellParams(half_window=0.2))
+        narrow = FeCAMCell(FeCAMCellParams(half_window=0.1))
+        assert narrow.bits_per_cell > wide.bits_per_cell
+
+    def test_window_bounds_enforced(self):
+        with pytest.raises(TCAMError):
+            FeCAMCellParams(half_window=0.0)
+        with pytest.raises(TCAMError):
+            FeCAMCellParams(half_window=10.0)
+        with pytest.raises(TCAMError):
+            FeCAMCellParams(sigma_program=-0.1)
+        with pytest.raises(TCAMError):
+            FeCAMCellParams(verify_pulses=-1)
+
+    def test_analog_margin_cost(self):
+        """Match-side leakage sits orders above the digital HVT path."""
+        analog = FeCAMCell()
+        binary = FeFET2TCell()
+        assert analog.i_leak(0.5) > 100.0 * binary.i_leak(0.5)
+        assert analog.i_pulldown(0.5) > analog.i_leak(0.5)
+
+    def test_boundary_mismatch_weaker_than_binary(self):
+        analog = FeCAMCell()
+        binary = FeFET2TCell()
+        assert 0.0 < analog.i_pulldown(0.5) < binary.i_pulldown(0.5)
+
+    def test_write_pays_verify_pulses(self):
+        cell = FeCAMCell()
+        binary = FeFET2TCell()
+        base = binary.write_cost(Trit.ZERO, Trit.ONE)
+        cost = cell.write_cost(Trit.ZERO, Trit.ONE)
+        scale = 1.0 + cell.params.verify_pulses
+        assert cost.energy == pytest.approx(base.energy * scale)
+        assert cost.latency == pytest.approx(base.latency * scale)
+        assert cell.write_cost(Trit.ONE, Trit.ONE).energy == 0.0
+
+    def test_accuracy_from_program_noise(self):
+        cell = FeCAMCell()
+        expected = math.erf(
+            cell.params.half_window / (math.sqrt(2.0) * cell.params.sigma_program)
+        )
+        assert cell.match_accuracy() == pytest.approx(expected)
+        ideal = FeCAMCell(FeCAMCellParams(sigma_program=0.0))
+        assert ideal.match_accuracy() == 1.0
+
+    def test_accuracy_improves_with_wider_window(self):
+        wide = FeCAMCell(FeCAMCellParams(half_window=0.15))
+        narrow = FeCAMCell(FeCAMCellParams(half_window=0.08))
+        assert wide.match_accuracy() > narrow.match_accuracy()
+
+    def test_functional_to_moderate_word_width(self):
+        """The default window keeps exact match working at 32 columns."""
+        cell = get_cell("fecam")
+        array = TCAMArray(cell, ArrayGeometry(8, 32))
+        rng = np.random.default_rng(7)
+        words = [random_word(32, rng, x_fraction=0.3) for _ in range(8)]
+        array.load(words)
+        out = array.search(words[0])
+        assert out.match_mask[0]
+        assert out.functional_errors == 0

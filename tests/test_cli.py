@@ -26,6 +26,13 @@ class TestDesigns:
         for name in ("cmos16t", "reram2t2r", "fefet2t", "fefet2t_lv", "fefet_cr", "fefet_nand"):
             assert name in out
 
+    def test_lists_registered_cells(self, capsys):
+        main(["designs"])
+        out = capsys.readouterr().out
+        assert "Registered TCAM cells" in out
+        for name in ("fefet_mlc", "seemcam", "fecam"):
+            assert name in out
+
 
 class TestCompare:
     def test_small_comparison_runs(self, capsys):
@@ -101,12 +108,65 @@ class TestRetention:
         assert "time to 10% loss" in out
 
 
+class TestDse:
+    ARGS = ["dse", "--cell", "fefet2t", "--cell", "seemcam",
+            "--rows", "8", "--cols", "16", "--searches", "2"]
+
+    def test_table_mode(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "frontier cells:" in out
+        assert "fefet2t" in out
+
+    def test_json_mode_carries_frontier(self, capsys):
+        assert main([*self.ARGS, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "dse"
+        assert payload["frontier_size"] >= 1
+        assert payload["n_points"] == len(payload["points"])
+        assert {row["cell"] for row in payload["points"]} == {"fefet2t", "seemcam"}
+        for row in payload["frontier"]:
+            assert row["functional_errors"] == 0
+
+    def test_kernel_flag_bit_identical(self, capsys):
+        main([*self.ARGS, "--json"])
+        plain = json.loads(capsys.readouterr().out)
+        main([*self.ARGS, "--kernel", "--json"])
+        kernel = json.loads(capsys.readouterr().out)
+        assert plain == kernel
+
+
+class TestReportValidation:
+    def test_report_rejects_unknown_schema(self, tmp_path, capsys):
+        (tmp_path / "BENCH_bad.json").write_text('{"schema_version": 999}')
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown schema_version"):
+            main(["report", "--bench-dir", str(tmp_path),
+                  "--output-dir", str(tmp_path / "out"),
+                  "--out", str(tmp_path / "REPORT.md")])
+
+    def test_report_counts_validated_artifacts(self, tmp_path, capsys):
+        (tmp_path / "BENCH_ok.json").write_text('{"schema_version": 1}')
+        out_dir = tmp_path / "out"
+        out_dir.mkdir()
+        (out_dir / "fig2.txt").write_text("stub artifact\n")
+        assert main(["report", "--bench-dir", str(tmp_path),
+                     "--output-dir", str(tmp_path / "out"),
+                     "--out", str(tmp_path / "REPORT.md")]) == 0
+        out = capsys.readouterr().out
+        assert "validated 1 benchmark artifact(s)" in out
+
+
 class TestJsonMode:
     def test_designs_json(self, capsys):
         assert main(["designs", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["command"] == "designs"
         assert {d["key"] for d in payload["designs"]} >= {"cmos16t", "fefet2t"}
+        assert all("cell" in d for d in payload["designs"])
+        cells = {c["key"] for c in payload["cells"]}
+        assert cells >= {"cmos16t", "fefet2t", "seemcam", "fecam"}
 
     def test_compare_json_with_design_filter(self, capsys):
         assert main(["compare", "--design", "fefet2t", "--rows", "8",
