@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-kernels bench-parallel bench-faults bench-service bench-dse report examples clean
+.PHONY: install test bench bench-kernels bench-parallel bench-faults bench-service bench-dse bench-retrieval report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -27,6 +27,9 @@ bench-service:
 
 bench-dse:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_dse.py --check
+
+bench-retrieval:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_retrieval.py --check
 
 report: bench
 	$(PYTHON) -m repro report --output-dir benchmarks/output --out REPORT.md

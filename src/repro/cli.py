@@ -62,6 +62,7 @@ TRACEABLE_COMMANDS = (
     "faults",
     "serve",
     "dse",
+    "retrieval",
 )
 
 
@@ -562,6 +563,59 @@ def _cmd_retention(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_retrieval(args: argparse.Namespace) -> int:
+    from .workloads.retrieval import run_retrieval
+
+    thresholds = tuple(int(t) for t in args.thresholds.split(","))
+    record = run_retrieval(
+        n_entries=args.entries,
+        dims=args.cols,
+        n_queries=args.queries,
+        k=args.k,
+        thresholds=thresholds,
+        design=args.design,
+        bank_rows=args.rows,
+        banks_per_chip=args.banks,
+        seed=args.seed,
+        use_kernel=args.kernel,
+    )
+    if args.json:
+        _emit_json({"command": "retrieval", **record})
+        return 0
+    print(
+        f"corpus          : {record['n_entries']} x {record['dims']} bits, "
+        f"{record['n_banks']} banks / {record['n_chips']} chips"
+    )
+    print(f"design          : {record['design']}")
+    print(f"load energy     : {eng(record['load_energy_total'], 'J')}")
+    base = record["exact_baseline"]
+    print(
+        f"exact baseline  : {eng(base['energy_per_query'], 'J')}/query, "
+        f"{eng(base['latency_mean'], 's')} mean latency"
+    )
+    top = record["topk"]
+    print(
+        f"top-{record['k']} (merged) : recall {top['recall_at_k']:.3f}, "
+        f"{eng(top['energy_per_query'], 'J')}/query"
+    )
+    table = Table(
+        title=f"Tolerance sweep ({record['n_queries']} queries, k={record['k']})",
+        columns=["t", "recall@k", "candidates", "E/query", "latency", "E vs exact"],
+    )
+    for row in record["threshold_sweep"]:
+        table.add_row(
+            row["max_distance"],
+            f"{row['recall_at_k']:.3f}",
+            f"{row['mean_candidates']:.1f}",
+            eng(row["energy_per_query"], "J"),
+            eng(row["latency_mean"], "s"),
+            f"{row['energy_vs_exact_baseline']:.4f}",
+        )
+    print()
+    print(table)
+    return 0
+
+
 def _split_trace_out(rest: list[str]) -> tuple[str | None, list[str]]:
     """Pull ``--trace-out PATH`` out of a REMAINDER argument list.
 
@@ -889,6 +943,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument("--searches", type=int, default=8)
     dse.set_defaults(func=_cmd_dse)
+
+    retrieval = sub.add_parser(
+        "retrieval",
+        help="corpus-scale associative retrieval over sharded TCAM banks",
+        parents=[
+            _design_flags("fefet2t"),
+            _shape_flags(rows=256, cols=64),
+            _seed_flags(),
+            _json_flags("a table"),
+        ],
+    )
+    retrieval.add_argument(
+        "--entries", type=int, default=20_000, help="corpus size (rows)"
+    )
+    retrieval.add_argument("--queries", type=int, default=32, help="query batch size")
+    retrieval.add_argument("--k", type=int, default=10, help="neighbors per query")
+    retrieval.add_argument(
+        "--thresholds",
+        default="2,4,6,8,10,12,14,16",
+        help="comma-separated Hamming tolerances to sweep",
+    )
+    retrieval.add_argument(
+        "--banks", type=int, default=16, help="banks tiled per chip"
+    )
+    retrieval.add_argument(
+        "--no-kernel",
+        dest="kernel",
+        action="store_false",
+        help="run the scalar reference path instead of the distance kernel",
+    )
+    retrieval.set_defaults(func=_cmd_retrieval, kernel=True)
 
     trace = sub.add_parser(
         "trace", help="run any subcommand under the observability layer"

@@ -54,6 +54,20 @@ class EnergyLedger:
     def _key(component: EnergyComponent | str) -> str:
         return component.value if isinstance(component, EnergyComponent) else str(component)
 
+    @classmethod
+    def _from_booked(cls, entries: dict[str, float]) -> "EnergyLedger":
+        """Adopt ``entries`` as the component map without re-validation.
+
+        Internal fast path for the batch kernels, which assemble thousands
+        of single-search ledgers per call: the caller promises the keys are
+        canonical component strings in booking order and the values are the
+        exact floats the equivalent :meth:`add` sequence would have stored
+        (non-negative, finite).  The dict is adopted, not copied.
+        """
+        led = cls.__new__(cls)
+        led._entries = entries
+        return led
+
     def add(self, component: EnergyComponent | str, joules: float) -> None:
         """Accumulate ``joules`` under ``component``.
 

@@ -109,6 +109,7 @@ class KernelEngine:
         self.table_hits = 0
         self.rk4_fallbacks = 0
         self._rows: dict[int, PrechargeClassRow | RaceClassRow] = {}
+        self._window_rows: dict[int, np.ndarray] = {}
         if array.sensing == "precharge":
             self.waveform: WaveformTable | None = WaveformTable(
                 array.c_ml,
@@ -183,6 +184,98 @@ class KernelEngine:
             drivens = range(self.max_driven + 1)
         for d in drivens:
             self.row(int(d))
+
+    def window_row(self, driven: int) -> np.ndarray:
+        """Crossing-time table for the distance-mode evaluation windows.
+
+        Entry ``n`` is the time for an ``n``-mismatch line (of ``driven``
+        driven columns) to cross the sense reference -- float for float
+        the value ``TCAMArray._nearest_window_cached`` computes, with
+        non-finite crossings clamped to ``t_eval``.  Entry 0 (a full
+        match never crosses) is ``t_eval``.  The distance kernel gathers
+        nearest/threshold/top-k strobe windows from these rows instead
+        of re-deriving them per key.  Precharge sensing only.
+        """
+        if self._array.sensing != "precharge":
+            raise KernelError("window tables apply to precharge-style sensing only")
+        if not self.in_grid(driven):
+            raise KernelError(
+                f"driven {driven} outside compiled grid [0, {self.max_driven}]"
+            )
+        cached = self._window_rows.get(driven)
+        if cached is not None:
+            return cached
+        from ..circuits.matchline import MatchLine, MatchLineLoad
+
+        array = self._array
+        v_pre = array.precharge.target_voltage()
+        v_ref = array.sense_amp.v_ref
+        out = np.empty(driven + 1)
+        out[0] = array.t_eval
+        for n in range(1, driven + 1):
+            load = MatchLineLoad(
+                capacitance=array.c_ml,
+                n_miss=n,
+                n_match=max(driven - n, 0),
+                i_pulldown=array.cell.i_pulldown,
+                i_leak=array.cell.i_leak,
+            )
+            t_window = MatchLine(load, v_pre, array.vdd).time_to(v_ref)
+            out[n] = array.t_eval if not np.isfinite(t_window) else float(t_window)
+        out.setflags(write=False)
+        self._window_rows[driven] = out
+        return out
+
+    def _electrical_signature(self) -> tuple:
+        """The parameters the compiled tables depend on (and nothing else)."""
+        array = self._array
+        cell = array.cell
+        sig = (
+            array.sensing,
+            self.max_driven,
+            array.geometry.cols,
+            float(array.c_ml),
+            # The pull-down / leakage curves are fully determined by the
+            # cell's type and parameter set.
+            type(cell).__name__,
+            repr(cell.params),
+            float(array.t_eval),
+            float(array.vdd),
+        )
+        if array.sensing == "precharge":
+            sig += (
+                float(array.precharge.target_voltage()),
+                float(array.sense_amp.v_ref),
+            )
+        return sig
+
+    def adopt_tables(self, donor: "KernelEngine") -> None:
+        """Share the donor engine's compiled tables with this engine.
+
+        The class tables depend only on the array's electrical
+        configuration, never on its contents -- so a fleet of identical
+        banks (a :class:`~repro.tcam.chip.TCAMChip`, a sharded retrieval
+        index) can compile the triangle once and serve every bank from
+        it.  The caches are shared *by reference*: a row lazily built
+        through any adopting engine becomes visible to all of them.
+        Hit/fallback counters stay per-engine.
+
+        Raises:
+            KernelError: if the two arrays differ in any parameter the
+                tables are derived from (sensing style, grid bound,
+                geometry, ML load, cell currents, timing, voltages).
+        """
+        if donor is self:
+            return
+        mine, theirs = self._electrical_signature(), donor._electrical_signature()
+        if mine != theirs:
+            raise KernelError(
+                "cannot adopt kernel tables across electrically different "
+                f"arrays: {mine} != {theirs}"
+            )
+        self._rows = donor._rows
+        self._window_rows = donor._window_rows
+        self.waveform = donor.waveform
 
     # -- validation / diagnostics -----------------------------------------
 

@@ -111,9 +111,23 @@ class SoAState:
                 f"key batch shape {packed.shape} does not match plane shape "
                 f"{self.plane0_t.shape}"
             )
-        k0 = (packed == 0).astype(np.float32)
-        k1 = (packed == 1).astype(np.float32)
+        cols = packed.shape[1]
         # A driven-1 column mismatches stored 0s; a driven-0 column
-        # mismatches stored 1s; X on either side never mismatches.
-        miss = k1 @ self.plane0_t + k0 @ self.plane1_t
+        # mismatches stored 1s; X on either side never mismatches.  Both
+        # products run as ONE matmul over vertically stacked planes: every
+        # partial sum is still an exact integer below 2**24, so float32
+        # accumulation order cannot change the (integer) result.
+        kd = np.empty((packed.shape[0], 2 * cols), dtype=np.float32)
+        np.equal(packed, 1, out=kd[:, :cols], casting="unsafe")
+        np.equal(packed, 0, out=kd[:, cols:], casting="unsafe")
+        miss = kd @ self._stacked_planes()
         return miss.astype(np.int64)
+
+    def _stacked_planes(self) -> np.ndarray:
+        """``(2*cols, rows)`` vertical stack of the two trit planes,
+        built once per snapshot (content changes rebuild the snapshot)."""
+        stacked = getattr(self, "_planes_cache", None)
+        if stacked is None:
+            stacked = np.vstack([self.plane0_t, self.plane1_t])
+            self._planes_cache = stacked
+        return stacked

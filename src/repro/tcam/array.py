@@ -61,6 +61,15 @@ from .trit import (
 
 _SENSING_STYLES = ("precharge", "current_race")
 
+# Canonical component keys, pre-resolved for the distance-kernel ledger
+# assembly (EnergyLedger._from_booked takes plain strings).
+_SL = EnergyComponent.SEARCHLINE.value
+_PRE = EnergyComponent.ML_PRECHARGE.value
+_DISS = EnergyComponent.ML_DISSIPATION.value
+_SA = EnergyComponent.SENSE_AMP.value
+_ENC = EnergyComponent.PRIORITY_ENCODER.value
+_LEAK = EnergyComponent.LEAKAGE.value
+
 # Ledger component -> per-phase child span of one traced search.  Every
 # component a search can book appears here, so a traced span tree carries
 # the outcome ledger's exact component map (the span-sum invariant).
@@ -247,6 +256,86 @@ class NearestMatchOutcome(BaseOutcome):
 
     def _extra_dict(self) -> dict:
         return {"row": self.row, "distance": int(self.distance)}
+
+
+@dataclass(frozen=True)
+class ThresholdMatchOutcome(BaseOutcome):
+    """Result of a tolerance (threshold) search.
+
+    TAP-CAM-style approximate matching: the sense strobe is delayed just
+    long enough for the first *excluded* mismatch class
+    (``max_distance + 1``) to cross the reference, so every valid row
+    within ``max_distance`` mismatches reads as a match.
+
+    Attributes:
+        match_mask: Valid rows within ``max_distance`` mismatches.
+        first_match: Lowest accepted row index, or ``None``.
+        n_matches: Number of accepted rows.
+        max_distance: The tolerance the search ran at.
+        energy: Ledger for the operation [J].
+        search_delay: Key-to-verdict latency [s].
+    """
+
+    match_mask: np.ndarray
+    first_match: int | None
+    n_matches: int
+    max_distance: int
+    energy: EnergyLedger
+    search_delay: float
+
+    @property
+    def cycle_time(self) -> float:
+        """The delayed-strobe window is the cycle in tolerance mode."""
+        return self.search_delay
+
+    def _extra_dict(self) -> dict:
+        return {
+            "n_matches": int(self.n_matches),
+            "max_distance": int(self.max_distance),
+        }
+
+
+@dataclass(frozen=True)
+class TopKMatchOutcome(BaseOutcome):
+    """Result of a k-nearest (top-k) associative search.
+
+    Attributes:
+        rows: Up to ``k`` row indices in priority order (ascending
+            mismatch distance, ties broken by row index).
+        distances: Mismatch count of each returned row.
+        k: The requested result count.
+        energy: Ledger for the operation [J].
+        search_delay: Key-to-last-result latency [s] (the priority
+            encoder drains the winners sequentially).
+    """
+
+    rows: tuple[int, ...]
+    distances: tuple[int, ...]
+    k: int
+    energy: EnergyLedger
+    search_delay: float
+
+    @property
+    def match_mask(self) -> None:
+        """Per-row verdicts are not modeled in top-k mode."""
+        return None
+
+    @property
+    def first_match(self) -> int | None:
+        """The nearest returned row (priority order), or ``None``."""
+        return self.rows[0] if self.rows else None
+
+    @property
+    def cycle_time(self) -> float:
+        """The full drain of the k winners is the cycle in top-k mode."""
+        return self.search_delay
+
+    def _extra_dict(self) -> dict:
+        return {
+            "rows": [int(r) for r in self.rows],
+            "distances": [int(d) for d in self.distances],
+            "k": int(self.k),
+        }
 
 
 @dataclass(frozen=True)
@@ -519,6 +608,65 @@ class TCAMArray:
         ledger = EnergyLedger()
         for offset, word in enumerate(words):
             ledger.merge(self.write(start_row + offset, word).energy)
+        return ledger
+
+    def load_rows(
+        self, words: Sequence[TernaryWord], start_row: int = 0
+    ) -> EnergyLedger:
+        """Bulk-write ``words`` into consecutive rows with one cache flush.
+
+        Ledger-identical to :meth:`load` (the same per-cell transition
+        costs accumulate in the same row-major order), but the trajectory
+        cache flushes once and ``_content_version`` moves once for the
+        whole corpus instead of once per row -- the difference between
+        one SoA/kernel rebuild and 100k of them when a retrieval corpus
+        loads.  The per-cell costs come from the estimator's 3x3
+        ``(old, new)`` transition table gathered over the block.
+        """
+        words = list(words)
+        n_rows = len(words)
+        if start_row + n_rows > self.geometry.rows:
+            raise TCAMError(
+                f"cannot load {n_rows} words at row {start_row} into "
+                f"{self.geometry.rows} rows"
+            )
+        ledger = EnergyLedger()
+        if n_rows == 0:
+            return ledger
+        for word in words:
+            if len(word) != self.geometry.cols:
+                raise TCAMError(
+                    f"word width {len(word)} does not match array cols "
+                    f"{self.geometry.cols}"
+                )
+        self._ml_cache.invalidate()
+        self._content_version += 1
+        cols = self.geometry.cols
+        new = np.stack([w.as_array() for w in words])
+        block = slice(start_row, start_row + n_rows)
+        old = self._stored[block]
+        # The estimator prices only nine distinct trit transitions.
+        e_tab = np.empty((3, 3), dtype=np.float64)
+        for o in range(3):
+            for t in range(3):
+                e_tab[o, t] = self.estimator.write_cost(Trit(o), Trit(t)).energy
+        cell_e = e_tab[old, new]
+        from ..kernels import sequential_segment_sum
+
+        starts = np.arange(n_rows, dtype=np.int64) * cols
+        row_e = sequential_segment_sum(cell_e.ravel(), starts, starts + cols)
+        changed = old != new
+        total_changed = int(np.count_nonzero(changed))
+        self._write_counts[block][changed] += 1
+        self._stored[block] = new
+        self._valid[block] = True
+        for e in row_e:
+            ledger.add(EnergyComponent.WRITE, float(e))
+        m = obs.metrics()
+        if m is not None:
+            m.counter("tcam.writes").inc(n_rows)
+            m.counter("tcam.cells_changed").inc(total_changed)
+            m.counter("energy.write").inc(ledger.total)
         return ledger
 
     # ------------------------------------------------------------------
@@ -1216,11 +1364,14 @@ class TCAMArray:
 
         Once enabled, :meth:`search_batch` answers mismatch classes from
         tabulated discharge endpoints (validated against the RK4
-        reference) and assembles outcomes through fused numpy gathers;
-        results stay bit-identical to the legacy path.  Keys driving
-        more than ``max_driven`` columns fall back to the RK4 reference
-        per key.  The scalar :meth:`search`, fault-injected batches and
-        :meth:`nearest_match_batch` always keep the reference path.
+        reference) and assembles outcomes through fused numpy gathers,
+        and the distance APIs (:meth:`nearest_match_batch`,
+        :meth:`threshold_match_batch`, :meth:`topk_match_batch`) run on
+        the fused distance kernel; results stay bit-identical to the
+        legacy paths.  Keys driving more than ``max_driven`` columns
+        fall back to the RK4 reference per key.  The scalar
+        :meth:`search` and fault-injected batches always keep the
+        reference path.
 
         Args:
             max_driven: Largest tabulated ``driven_cols`` (defaults to
@@ -1660,8 +1811,21 @@ class TCAMArray:
         )
 
     # ------------------------------------------------------------------
-    # Approximate search (associative-memory mode, used by the HDC workload)
+    # Approximate search (associative-memory mode, used by the HDC and
+    # retrieval workloads)
     # ------------------------------------------------------------------
+
+    def _require_precharge(self, api: str) -> None:
+        """Shared sensing-mode guard; ``api`` names the calling method."""
+        if self.sensing != "precharge":
+            raise TCAMError(f"{api} requires precharge-style sensing")
+
+    def _require_no_faults(self, api: str) -> None:
+        """Shared fault-injection guard; ``api`` names the calling method."""
+        if self._fault_injection_active():
+            raise TCAMError(
+                f"{api} does not support fault injection; detach the fault map first"
+            )
 
     def nearest_match(self, key: TernaryWord) -> NearestMatchOutcome:
         """Best-match search: the row with the fewest mismatching cells.
@@ -1691,13 +1855,8 @@ class TCAMArray:
             return outcome
 
     def _nearest_match_impl(self, key: TernaryWord) -> NearestMatchOutcome:
-        if self.sensing != "precharge":
-            raise TCAMError("nearest_match() requires precharge-style sensing")
-        if self._fault_injection_active():
-            raise TCAMError(
-                "nearest_match() does not support fault injection; "
-                "detach the fault map first"
-            )
+        self._require_precharge("nearest_match()")
+        self._require_no_faults("nearest_match()")
         if len(key) != self.geometry.cols:
             raise TCAMError(
                 f"key width {len(key)} does not match array cols {self.geometry.cols}"
@@ -1772,14 +1931,13 @@ class TCAMArray:
         outcome, with the winner-class droop voltages and runner-up
         crossing windows served from the trajectory cache (one entry per
         distinct ``(runner_up, driven_cols)`` pair across the batch).
+        Under :meth:`enable_kernel` the batch instead runs on the fused
+        distance kernel (one SoA matmul for the whole mismatch matrix,
+        windows/droops from the compiled tables), bit-identical to this
+        reference loop.
         """
-        if self.sensing != "precharge":
-            raise TCAMError("nearest_match() requires precharge-style sensing")
-        if self._fault_injection_active():
-            raise TCAMError(
-                "nearest_match() does not support fault injection; "
-                "detach the fault map first"
-            )
+        self._require_precharge("nearest_match_batch()")
+        self._require_no_faults("nearest_match_batch()")
         keys = list(keys)
         if not keys:
             return []
@@ -1791,6 +1949,11 @@ class TCAMArray:
         ) as sp:
             m = obs.metrics()
             cache_before = self._cache_counters() if m is not None else None
+            kernel_before = (
+                (self._kernel.table_hits, self._kernel.rk4_fallbacks)
+                if m is not None and self._kernel is not None
+                else None
+            )
             outcomes = self._nearest_match_batch_impl(keys)
             if sp is not None:
                 ledger = EnergyLedger.sum(o.energy for o in outcomes)
@@ -1798,6 +1961,8 @@ class TCAMArray:
                 self._book_batch_metrics(len(keys), ledger)
             if m is not None:
                 self._book_cache_metrics(m, cache_before)
+                if kernel_before is not None and self._kernel is not None:
+                    self._book_kernel_metrics(m, kernel_before)
             return outcomes
 
     def _nearest_match_batch_impl(
@@ -1809,6 +1974,10 @@ class TCAMArray:
                 f"key width {packed.shape[1]} does not match array cols "
                 f"{self.geometry.cols}"
             )
+        if self._kernel is not None:
+            soa = self._soa_state()
+            if soa.is_uniform():
+                return self._nearest_match_batch_kernel(packed, soa)
         miss_all = mismatch_counts_batch(self._stored, packed)
         driven_all = np.count_nonzero(packed != int(Trit.X), axis=1)
         toggles = self._batch_toggles(packed)
@@ -1816,56 +1985,67 @@ class TCAMArray:
 
         valid_idx = np.flatnonzero(self._valid)
         v_pre = self.precharge.target_voltage()
-        outcomes: list[NearestMatchOutcome] = []
-        for k in range(len(keys)):
-            ledger = EnergyLedger()
-            ledger.add(EnergyComponent.SEARCHLINE, int(toggles[k]) * e_toggle)
-            if valid_idx.size == 0:
-                outcomes.append(NearestMatchOutcome(None, 0, ledger, self.sl_settle_delay))
-                continue
-            miss = miss_all[k]
-            driven_cols = int(driven_all[k])
-            best_pos = int(valid_idx[np.argmin(miss[valid_idx])])
-            best_distance = int(miss[best_pos])
-
-            runner_up = best_distance + 1
-            if runner_up <= driven_cols and runner_up > 0:
-                t_window = self._nearest_window_cached(runner_up, driven_cols, v_pre)
-            else:
-                t_window = self.t_eval
-
-            n_losers = int(np.count_nonzero(miss[valid_idx] > best_distance))
-            n_winners = int(valid_idx.size - n_losers)
-            ledger.add(
-                EnergyComponent.ML_PRECHARGE,
-                self.estimator.ml_precharge_energy(0.0, n_losers),
+        return [
+            self._nearest_key(
+                miss_all[k], int(driven_all[k]), int(toggles[k]), e_toggle, v_pre, valid_idx
             )
+            for k in range(len(keys))
+        ]
+
+    def _nearest_key(
+        self,
+        miss: np.ndarray,
+        driven_cols: int,
+        n_toggles: int,
+        e_toggle: float,
+        v_pre: float,
+        valid_idx: np.ndarray,
+    ) -> NearestMatchOutcome:
+        """Reference per-key best-match body (legacy loop and kernel fallback)."""
+        ledger = EnergyLedger()
+        ledger.add(EnergyComponent.SEARCHLINE, n_toggles * e_toggle)
+        if valid_idx.size == 0:
+            return NearestMatchOutcome(None, 0, ledger, self.sl_settle_delay)
+        best_pos = int(valid_idx[np.argmin(miss[valid_idx])])
+        best_distance = int(miss[best_pos])
+
+        runner_up = best_distance + 1
+        if runner_up <= driven_cols and runner_up > 0:
+            t_window = self._nearest_window_cached(runner_up, driven_cols, v_pre)
+        else:
+            t_window = self.t_eval
+
+        n_losers = int(np.count_nonzero(miss[valid_idx] > best_distance))
+        n_winners = int(valid_idx.size - n_losers)
+        ledger.add(
+            EnergyComponent.ML_PRECHARGE,
+            self.estimator.ml_precharge_energy(0.0, n_losers),
+        )
+        ledger.add(
+            EnergyComponent.ML_DISSIPATION,
+            self.estimator.ml_dissipation_energy(0.0, n_losers),
+        )
+        if best_distance == 0:
+            v_winner = self._cached_class(0, driven_cols).v_end
+        else:
+            v_winner = 0.0
             ledger.add(
                 EnergyComponent.ML_DISSIPATION,
-                self.estimator.ml_dissipation_energy(0.0, n_losers),
+                self.estimator.ml_dissipation_energy(0.0, n_winners),
             )
-            if best_distance == 0:
-                v_winner = self._cached_class(0, driven_cols).v_end
-            else:
-                v_winner = 0.0
-                ledger.add(
-                    EnergyComponent.ML_DISSIPATION,
-                    self.estimator.ml_dissipation_energy(0.0, n_winners),
-                )
-            ledger.add(
-                EnergyComponent.ML_PRECHARGE,
-                self.estimator.ml_precharge_energy(v_winner, n_winners),
-            )
-            ledger.add(
-                EnergyComponent.SENSE_AMP,
-                self.estimator.sense_idle_energy(valid_idx.size),
-            )
-            ledger.add(EnergyComponent.PRIORITY_ENCODER, self.estimator.encode_energy())
+        ledger.add(
+            EnergyComponent.ML_PRECHARGE,
+            self.estimator.ml_precharge_energy(v_winner, n_winners),
+        )
+        ledger.add(
+            EnergyComponent.SENSE_AMP,
+            self.estimator.sense_idle_energy(valid_idx.size),
+        )
+        ledger.add(EnergyComponent.PRIORITY_ENCODER, self.estimator.encode_energy())
 
-            delay = self.sl_settle_delay + t_window + self.encoder.delay
-            ledger.add(EnergyComponent.LEAKAGE, self.standby_power() * delay)
-            outcomes.append(NearestMatchOutcome(best_pos, best_distance, ledger, delay))
-        return outcomes
+        delay = self.sl_settle_delay + t_window + self.encoder.delay
+        ledger.add(EnergyComponent.LEAKAGE, self.standby_power() * delay)
+        return NearestMatchOutcome(best_pos, best_distance, ledger, delay)
 
     def _nearest_window_cached(
         self, runner_up: int, driven_cols: int, v_pre: float
@@ -1887,6 +2067,741 @@ class TCAMArray:
             t_window = self.t_eval
         self._ml_cache.put(key, t_window)
         return t_window
+
+    # -- tolerance (threshold) search ------------------------------------------
+
+    def threshold_match(self, key: TernaryWord, max_distance: int) -> ThresholdMatchOutcome:
+        """Tolerance search: every row within ``max_distance`` mismatches.
+
+        TAP-CAM-style approximate matching: the sense strobe is delayed
+        exactly long enough for the first *excluded* mismatch class
+        (``max_distance + 1``) to cross the reference, so rows carrying up
+        to ``max_distance`` conducting cells still read as matches.  The
+        verdict is a time-domain crossing detection like
+        :meth:`nearest_match`, so only the sense amplifier's internal
+        swing books -- which is what makes a tolerance probe cheaper per
+        query than an exact-match :meth:`search` scan.
+
+        Only supported for precharge-style sensing.
+        """
+        self._require_precharge("threshold_match()")
+        self._require_no_faults("threshold_match()")
+        self._check_max_distance(max_distance)
+        with obs.span(
+            "array.threshold_match",
+            rows=self.geometry.rows,
+            cols=self.geometry.cols,
+            max_distance=max_distance,
+        ) as sp:
+            outcome = self._threshold_match_batch_impl([key], max_distance)[0]
+            if sp is not None:
+                sp.set_delay(outcome.search_delay)
+                sp.annotate(n_matches=outcome.n_matches)
+                sp.split_energy(outcome.energy, _SPAN_ENERGY_GROUPS)
+                self._book_batch_metrics(1, outcome.energy)
+            return outcome
+
+    def threshold_match_batch(
+        self, keys: Iterable[TernaryWord], max_distance: int
+    ) -> list[ThresholdMatchOutcome]:
+        """Tolerance search over a batch of keys.
+
+        Equivalent to ``[threshold_match(k, max_distance) for k in keys]``
+        outcome by outcome.  Under :meth:`enable_kernel` the batch runs on
+        the fused distance kernel (one SoA matmul, windows and droop
+        voltages from the compiled tables), bit-identical to the
+        reference loop.
+        """
+        self._require_precharge("threshold_match_batch()")
+        self._require_no_faults("threshold_match_batch()")
+        self._check_max_distance(max_distance)
+        keys = list(keys)
+        if not keys:
+            return []
+        with obs.span(
+            "array.threshold_match_batch",
+            rows=self.geometry.rows,
+            cols=self.geometry.cols,
+            n_keys=len(keys),
+            max_distance=max_distance,
+        ) as sp:
+            m = obs.metrics()
+            cache_before = self._cache_counters() if m is not None else None
+            kernel_before = (
+                (self._kernel.table_hits, self._kernel.rk4_fallbacks)
+                if m is not None and self._kernel is not None
+                else None
+            )
+            outcomes = self._threshold_match_batch_impl(keys, max_distance)
+            if sp is not None:
+                ledger = EnergyLedger.sum(o.energy for o in outcomes)
+                sp.add_energy(ledger)
+                self._book_batch_metrics(len(keys), ledger)
+            if m is not None:
+                self._book_cache_metrics(m, cache_before)
+                if kernel_before is not None and self._kernel is not None:
+                    self._book_kernel_metrics(m, kernel_before)
+            return outcomes
+
+    def _check_max_distance(self, max_distance: int) -> None:
+        if max_distance < 0:
+            raise TCAMError(f"max_distance must be >= 0, got {max_distance}")
+
+    def _threshold_match_batch_impl(
+        self, keys: list[TernaryWord], max_distance: int
+    ) -> list[ThresholdMatchOutcome]:
+        packed = pack_keys(keys)
+        if packed.shape[1] != self.geometry.cols:
+            raise TCAMError(
+                f"key width {packed.shape[1]} does not match array cols "
+                f"{self.geometry.cols}"
+            )
+        if self._kernel is not None:
+            soa = self._soa_state()
+            if soa.is_uniform():
+                return self._threshold_match_batch_kernel(packed, soa, max_distance)
+        miss_all = mismatch_counts_batch(self._stored, packed)
+        driven_all = np.count_nonzero(packed != int(Trit.X), axis=1)
+        toggles = self._batch_toggles(packed)
+        e_toggle = self.estimator.sl_toggle_energy()
+        valid_idx = np.flatnonzero(self._valid)
+        v_pre = self.precharge.target_voltage()
+        return [
+            self._threshold_key(
+                miss_all[k],
+                int(driven_all[k]),
+                int(toggles[k]),
+                e_toggle,
+                v_pre,
+                valid_idx,
+                max_distance,
+            )
+            for k in range(len(keys))
+        ]
+
+    def _threshold_key(
+        self,
+        miss: np.ndarray,
+        driven_cols: int,
+        n_toggles: int,
+        e_toggle: float,
+        v_pre: float,
+        valid_idx: np.ndarray,
+        max_distance: int,
+    ) -> ThresholdMatchOutcome:
+        """Reference per-key tolerance-search body (legacy loop and kernel fallback)."""
+        rows = self.geometry.rows
+        ledger = EnergyLedger()
+        ledger.add(EnergyComponent.SEARCHLINE, n_toggles * e_toggle)
+        if valid_idx.size == 0:
+            return ThresholdMatchOutcome(
+                match_mask=np.zeros(rows, dtype=bool),
+                first_match=None,
+                n_matches=0,
+                max_distance=max_distance,
+                energy=ledger,
+                search_delay=self.sl_settle_delay,
+            )
+        miss_v = miss[valid_idx]
+        within = miss_v <= max_distance
+        mask = np.zeros(rows, dtype=bool)
+        mask[valid_idx[within]] = True
+        n_matches = int(np.count_nonzero(within))
+        n_losers = int(valid_idx.size - n_matches)
+
+        # Strobe window: the first excluded class must cross the reference.
+        cut = max_distance + 1
+        if 0 < cut <= driven_cols:
+            t_window = self._nearest_window_cached(cut, driven_cols, v_pre)
+        else:
+            t_window = self.t_eval
+
+        ledger.add(
+            EnergyComponent.ML_PRECHARGE,
+            self.estimator.ml_precharge_energy(0.0, n_losers),
+        )
+        ledger.add(
+            EnergyComponent.ML_DISSIPATION,
+            self.estimator.ml_dissipation_energy(0.0, n_losers),
+        )
+        # Accepted rows droop to their class endpoints; each accepted
+        # class books restore and dissipation, accumulated in ascending
+        # n_miss order into one add per component (= the kernel's
+        # segmented sums, bit for bit).
+        e_pre = 0.0
+        e_diss = 0.0
+        classes, counts = np.unique(miss_v[within], return_counts=True)
+        for n, c in zip(classes, counts):
+            r = self._cached_class(int(n), driven_cols)
+            e_pre += float(c) * r.e_restore
+            e_diss += float(c) * r.e_diss
+        ledger.add(EnergyComponent.ML_PRECHARGE, e_pre)
+        ledger.add(EnergyComponent.ML_DISSIPATION, e_diss)
+        ledger.add(
+            EnergyComponent.SENSE_AMP,
+            self.estimator.sense_idle_energy(valid_idx.size),
+        )
+        ledger.add(EnergyComponent.PRIORITY_ENCODER, self.estimator.encode_energy())
+        delay = self.sl_settle_delay + t_window + self.encoder.delay
+        ledger.add(EnergyComponent.LEAKAGE, self.standby_power() * delay)
+        return ThresholdMatchOutcome(
+            match_mask=mask,
+            first_match=self.encoder.encode(mask),
+            n_matches=n_matches,
+            max_distance=max_distance,
+            energy=ledger,
+            search_delay=delay,
+        )
+
+    # -- k-nearest (top-k) search ----------------------------------------------
+
+    def topk_match(self, key: TernaryWord, k: int) -> TopKMatchOutcome:
+        """k-nearest search: the ``k`` rows with the fewest mismatches.
+
+        Time-domain sensing as in :meth:`nearest_match`, with the strobe
+        delayed until the class one past the k-th winner crosses the
+        reference; the priority encoder then drains the k winners
+        sequentially (ascending distance, ties broken by row index).
+
+        Only supported for precharge-style sensing.
+        """
+        self._require_precharge("topk_match()")
+        self._require_no_faults("topk_match()")
+        self._check_k(k)
+        with obs.span(
+            "array.topk_match",
+            rows=self.geometry.rows,
+            cols=self.geometry.cols,
+            k=k,
+        ) as sp:
+            outcome = self._topk_match_batch_impl([key], k)[0]
+            if sp is not None:
+                sp.set_delay(outcome.search_delay)
+                sp.annotate(n_returned=len(outcome.rows))
+                sp.split_energy(outcome.energy, _SPAN_ENERGY_GROUPS)
+                self._book_batch_metrics(1, outcome.energy)
+            return outcome
+
+    def topk_match_batch(self, keys: Iterable[TernaryWord], k: int) -> list[TopKMatchOutcome]:
+        """k-nearest search over a batch of keys.
+
+        Equivalent to ``[topk_match(key, k) for key in keys]`` outcome by
+        outcome.  Under :meth:`enable_kernel` the batch runs on the fused
+        distance kernel, bit-identical to the reference loop.
+        """
+        self._require_precharge("topk_match_batch()")
+        self._require_no_faults("topk_match_batch()")
+        self._check_k(k)
+        keys = list(keys)
+        if not keys:
+            return []
+        with obs.span(
+            "array.topk_match_batch",
+            rows=self.geometry.rows,
+            cols=self.geometry.cols,
+            n_keys=len(keys),
+            k=k,
+        ) as sp:
+            m = obs.metrics()
+            cache_before = self._cache_counters() if m is not None else None
+            kernel_before = (
+                (self._kernel.table_hits, self._kernel.rk4_fallbacks)
+                if m is not None and self._kernel is not None
+                else None
+            )
+            outcomes = self._topk_match_batch_impl(keys, k)
+            if sp is not None:
+                ledger = EnergyLedger.sum(o.energy for o in outcomes)
+                sp.add_energy(ledger)
+                self._book_batch_metrics(len(keys), ledger)
+            if m is not None:
+                self._book_cache_metrics(m, cache_before)
+                if kernel_before is not None and self._kernel is not None:
+                    self._book_kernel_metrics(m, kernel_before)
+            return outcomes
+
+    def _check_k(self, k: int) -> None:
+        if k < 1:
+            raise TCAMError(f"k must be >= 1, got {k}")
+
+    def _topk_match_batch_impl(
+        self, keys: list[TernaryWord], k: int
+    ) -> list[TopKMatchOutcome]:
+        packed = pack_keys(keys)
+        if packed.shape[1] != self.geometry.cols:
+            raise TCAMError(
+                f"key width {packed.shape[1]} does not match array cols "
+                f"{self.geometry.cols}"
+            )
+        if self._kernel is not None:
+            soa = self._soa_state()
+            if soa.is_uniform():
+                return self._topk_match_batch_kernel(packed, soa, k)
+        miss_all = mismatch_counts_batch(self._stored, packed)
+        driven_all = np.count_nonzero(packed != int(Trit.X), axis=1)
+        toggles = self._batch_toggles(packed)
+        e_toggle = self.estimator.sl_toggle_energy()
+        valid_idx = np.flatnonzero(self._valid)
+        v_pre = self.precharge.target_voltage()
+        return [
+            self._topk_key(
+                miss_all[q], int(driven_all[q]), int(toggles[q]), e_toggle, v_pre, valid_idx, k
+            )
+            for q in range(len(keys))
+        ]
+
+    def _topk_key(
+        self,
+        miss: np.ndarray,
+        driven_cols: int,
+        n_toggles: int,
+        e_toggle: float,
+        v_pre: float,
+        valid_idx: np.ndarray,
+        k: int,
+    ) -> TopKMatchOutcome:
+        """Reference per-key top-k body (legacy loop and kernel fallback)."""
+        ledger = EnergyLedger()
+        ledger.add(EnergyComponent.SEARCHLINE, n_toggles * e_toggle)
+        if valid_idx.size == 0:
+            return TopKMatchOutcome((), (), k, ledger, self.sl_settle_delay)
+        miss_v = miss[valid_idx]
+        n_take = min(k, int(valid_idx.size))
+        order = np.argsort(miss_v, kind="stable")[:n_take]
+        sel_rows = valid_idx[order]
+        sel_dist = miss_v[order]
+        d_k = int(sel_dist[-1])
+
+        # Strobe window: the class one past the k-th winner must cross.
+        cut = d_k + 1
+        if 0 < cut <= driven_cols:
+            t_window = self._nearest_window_cached(cut, driven_cols, v_pre)
+        else:
+            t_window = self.t_eval
+
+        # Every class deeper than the k-th winner fully discharges; the
+        # surviving classes droop to their endpoints.
+        survivors = miss_v <= d_k
+        n_losers = int(valid_idx.size - np.count_nonzero(survivors))
+        ledger.add(
+            EnergyComponent.ML_PRECHARGE,
+            self.estimator.ml_precharge_energy(0.0, n_losers),
+        )
+        ledger.add(
+            EnergyComponent.ML_DISSIPATION,
+            self.estimator.ml_dissipation_energy(0.0, n_losers),
+        )
+        e_pre = 0.0
+        e_diss = 0.0
+        classes, counts = np.unique(miss_v[survivors], return_counts=True)
+        for n, c in zip(classes, counts):
+            r = self._cached_class(int(n), driven_cols)
+            e_pre += float(c) * r.e_restore
+            e_diss += float(c) * r.e_diss
+        ledger.add(EnergyComponent.ML_PRECHARGE, e_pre)
+        ledger.add(EnergyComponent.ML_DISSIPATION, e_diss)
+        ledger.add(
+            EnergyComponent.SENSE_AMP,
+            self.estimator.sense_idle_energy(valid_idx.size),
+        )
+        ledger.add(
+            EnergyComponent.PRIORITY_ENCODER,
+            float(n_take) * self.estimator.encode_energy(),
+        )
+        delay = self.sl_settle_delay + t_window + float(n_take) * self.encoder.delay
+        ledger.add(EnergyComponent.LEAKAGE, self.standby_power() * delay)
+        return TopKMatchOutcome(
+            rows=tuple(int(r) for r in sel_rows),
+            distances=tuple(int(d) for d in sel_dist),
+            k=k,
+            energy=ledger,
+            search_delay=delay,
+        )
+
+    # -- fused distance kernel tails -------------------------------------------
+
+    def _distance_kernel_prologue(self, packed: np.ndarray, soa):
+        """Shared front half of the distance-kernel tails.
+
+        One SoA matmul for the full ``(n_keys, rows)`` mismatch matrix
+        (bit-identical to the broadcast reference), plus the per-key
+        driven counts, sequential search-line toggle chain and the
+        constant per-batch estimator values.
+        """
+        miss_all = soa.mismatch_counts(packed)
+        driven_all = np.count_nonzero(packed != int(Trit.X), axis=1)
+        toggles = self._batch_toggles(packed)
+        e_toggle = self.estimator.sl_toggle_energy()
+        # int * float == float64(int) * float bit for bit (exact ints).
+        sl_e = toggles.astype(np.float64) * e_toggle
+        valid_idx = np.flatnonzero(self._valid)
+        v_pre = self.precharge.target_voltage()
+        return miss_all, driven_all, toggles, e_toggle, sl_e, valid_idx, v_pre
+
+    def _diss0_table(self, n_max: int) -> np.ndarray:
+        """Full-discharge dissipation per line count, tabulated 0..n_max.
+
+        Entry ``n`` is exactly ``estimator.ml_dissipation_energy(0.0, n)``
+        (same call, same float), so the kernels can gather count-scaled
+        dissipation terms instead of memoizing per distinct count.
+        """
+        est = self.estimator
+        return np.array(
+            [est.ml_dissipation_energy(0.0, n) for n in range(n_max + 1)]
+        )
+
+    def _nearest_match_batch_kernel(
+        self, packed: np.ndarray, soa
+    ) -> list[NearestMatchOutcome]:
+        """Kernel tail of :meth:`_nearest_match_batch_impl`.
+
+        Winner/runner-up partitioning is vectorized over the whole
+        mismatch matrix; evaluation windows come from the engine's
+        crossing-time tables (:meth:`~repro.kernels.KernelEngine.window_row`,
+        the same floats :meth:`_nearest_window_cached` computes) and the
+        winner droop voltages from the compiled waveform tables.  The
+        per-key ledgers repeat the reference adds in the reference order,
+        with the estimator's count-scaled terms memoized per distinct
+        count -- identical call, identical float.  Keys driving more
+        columns than the tabulated grid take the reference body per key
+        and book RK4 fallbacks.
+        """
+        eng = self._kernel
+        n_keys = packed.shape[0]
+        with obs.span("array.distance_kernel", mode="nearest", n_keys=n_keys) as sp:
+            (miss_all, driven_all, toggles, e_toggle, sl_e, valid_idx, v_pre) = (
+                self._distance_kernel_prologue(packed, soa)
+            )
+            outcomes: list[NearestMatchOutcome | None] = [None] * n_keys
+            if valid_idx.size == 0:
+                for q in range(n_keys):
+                    ledger = EnergyLedger()
+                    ledger.add(EnergyComponent.SEARCHLINE, float(sl_e[q]))
+                    outcomes[q] = NearestMatchOutcome(
+                        None, 0, ledger, self.sl_settle_delay
+                    )
+                return outcomes
+
+            miss_v = miss_all[:, valid_idx]
+            best_j = np.argmin(miss_v, axis=1)
+            best_pos = valid_idx[best_j]
+            best_d = np.take_along_axis(miss_v, best_j[:, np.newaxis], axis=1)[:, 0]
+            n_losers = np.count_nonzero(miss_v > best_d[:, np.newaxis], axis=1)
+            n_winners = valid_idx.size - n_losers
+
+            r0 = self.estimator.ml_precharge_energy(0.0, 1)
+            e_sa = self.estimator.sense_idle_energy(int(valid_idx.size))
+            enc_e = self.estimator.encode_energy()
+            enc_delay = self.encoder.delay
+            sl_delay = self.sl_settle_delay
+            k_leak = self.standby_power()
+            diss_tab = self._diss0_table(int(valid_idx.size))
+
+            in_grid = driven_all <= eng.max_driven
+            for q in np.flatnonzero(~in_grid):
+                q = int(q)
+                outcomes[q] = self._nearest_key(
+                    miss_all[q], int(driven_all[q]), int(toggles[q]), e_toggle,
+                    v_pre, valid_idx,
+                )
+                eng.rk4_fallbacks += 1
+
+            idx = np.flatnonzero(in_grid)
+            if idx.size:
+                # Pad the per-driven crossing-time rows and winner restore
+                # energies into dense tables so the whole batch gathers in
+                # one pass (entries beyond each row's triangle are masked
+                # off by the ``ru <= d`` window condition below).
+                d_arr = driven_all[idx]
+                ds = np.unique(d_arr)
+                maxd = int(ds[-1])
+                win_tab = np.full((maxd + 1, maxd + 2), self.t_eval)
+                rest0 = np.empty(maxd + 1)
+                for d in ds:
+                    d = int(d)
+                    win_tab[d, : d + 1] = eng.window_row(d)
+                    rest0[d] = eng.row(d).e_restore[0]
+                eng.table_hits += int(idx.size)
+                bd = best_d[idx]
+                nl = n_losers[idx]
+                nw = n_winners[idx]
+                ru = bd + 1
+                t_window = np.where(
+                    ru <= d_arr,
+                    win_tab[d_arr, np.minimum(ru, d_arr)],
+                    self.t_eval,
+                )
+                delays = (sl_delay + t_window) + enc_delay
+                leak = k_leak * delays
+                pre_losers = nl.astype(np.float64) * r0
+                pre_winners = nw.astype(np.float64) * np.where(
+                    bd == 0, rest0[d_arr], r0
+                )
+                # Component totals, vectorized with the reference operand
+                # grouping: two precharge adds fold to one elementwise sum
+                # ((0.0 + a) + b == a + b); the winner dissipation term is
+                # only added for distance > 0 (x + 0.0 == x for x >= 0.0).
+                pre_tot = (pre_losers + pre_winners).tolist()
+                diss_tot = (
+                    diss_tab[nl] + np.where(bd != 0, diss_tab[nw], 0.0)
+                ).tolist()
+                assembled = [
+                    NearestMatchOutcome(
+                        pos,
+                        dist,
+                        EnergyLedger._from_booked({
+                            _SL: sl,
+                            _PRE: pre,
+                            _DISS: dis,
+                            _SA: e_sa,
+                            _ENC: enc_e,
+                            _LEAK: lk,
+                        }),
+                        dl,
+                    )
+                    for pos, dist, sl, pre, dis, lk, dl in zip(
+                        best_pos[idx].tolist(),
+                        bd.tolist(),
+                        sl_e[idx].tolist(),
+                        pre_tot,
+                        diss_tot,
+                        leak.tolist(),
+                        delays.tolist(),
+                    )
+                ]
+                for q, out in zip(idx.tolist(), assembled):
+                    outcomes[q] = out
+            if sp is not None:
+                sp.annotate(fallback_keys=int(np.count_nonzero(~in_grid)))
+            return outcomes
+
+    def _valid_class_counts(self, miss_v: np.ndarray) -> np.ndarray:
+        """Dense per-(key, class) valid-row counts from the valid-column
+        mismatch matrix: one offset bincount."""
+        n_keys = miss_v.shape[0]
+        n_classes = self.geometry.cols + 1
+        offsets = miss_v + (np.arange(n_keys) * n_classes)[:, np.newaxis]
+        return np.bincount(
+            offsets.ravel(), minlength=n_keys * n_classes
+        ).reshape(n_keys, n_classes)
+
+    def _threshold_match_batch_kernel(
+        self, packed: np.ndarray, soa, max_distance: int
+    ) -> list[ThresholdMatchOutcome]:
+        """Kernel tail of :meth:`_threshold_match_batch_impl` (cf.
+        :meth:`_nearest_match_batch_kernel`); accepted-class restore and
+        dissipation come from the compiled tables through segmented
+        left-to-right sums, reproducing the reference accumulation."""
+        from ..kernels import sequential_segment_sum
+
+        eng = self._kernel
+        rows = self.geometry.rows
+        n_keys = packed.shape[0]
+        with obs.span("array.distance_kernel", mode="threshold", n_keys=n_keys) as sp:
+            (miss_all, driven_all, toggles, e_toggle, sl_e, valid_idx, v_pre) = (
+                self._distance_kernel_prologue(packed, soa)
+            )
+            outcomes: list[ThresholdMatchOutcome | None] = [None] * n_keys
+            if valid_idx.size == 0:
+                for q in range(n_keys):
+                    ledger = EnergyLedger()
+                    ledger.add(EnergyComponent.SEARCHLINE, float(sl_e[q]))
+                    outcomes[q] = ThresholdMatchOutcome(
+                        match_mask=np.zeros(rows, dtype=bool),
+                        first_match=None,
+                        n_matches=0,
+                        max_distance=max_distance,
+                        energy=ledger,
+                        search_delay=self.sl_settle_delay,
+                    )
+                return outcomes
+
+            miss_v = miss_all[:, valid_idx]
+            within = miss_v <= max_distance
+            n_match = np.count_nonzero(within, axis=1)
+            n_losers = valid_idx.size - n_match
+            counts_valid = self._valid_class_counts(miss_v)
+            cut = max_distance + 1
+
+            r0 = self.estimator.ml_precharge_energy(0.0, 1)
+            e_sa = self.estimator.sense_idle_energy(int(valid_idx.size))
+            enc_e = self.estimator.encode_energy()
+            enc_delay = self.encoder.delay
+            sl_delay = self.sl_settle_delay
+            k_leak = self.standby_power()
+            diss_tab = self._diss0_table(int(valid_idx.size))
+
+            in_grid = driven_all <= eng.max_driven
+            for q in np.flatnonzero(~in_grid):
+                q = int(q)
+                outcomes[q] = self._threshold_key(
+                    miss_all[q], int(driven_all[q]), int(toggles[q]), e_toggle,
+                    v_pre, valid_idx, max_distance,
+                )
+                eng.rk4_fallbacks += 1
+
+            idx = np.flatnonzero(in_grid)
+            for d in np.unique(driven_all[idx]):
+                d = int(d)
+                grp = idx[driven_all[idx] == d]
+                wrow = eng.window_row(d)
+                vrow = eng.row(d)
+                eng.table_hits += int(grp.size)
+                t_window = float(wrow[cut]) if cut <= d else self.t_eval
+                delay = (sl_delay + t_window) + enc_delay
+                leak = k_leak * delay
+                # Accepted classes are exactly the first ``cut`` columns of
+                # the class histogram (miss <= driven bounds the rest out).
+                cv = counts_valid[grp][:, : min(cut, d + 1)]
+                kk, nn = np.nonzero(cv)  # row-major: per key, ascending class
+                cnt = cv[kk, nn].astype(np.float64)
+                bounds = np.searchsorted(kk, np.arange(grp.size + 1))
+                seg, seg_ends = bounds[:-1], bounds[1:]
+                e_pre = sequential_segment_sum(cnt * vrow.e_restore[nn], seg, seg_ends)
+                e_diss = sequential_segment_sum(cnt * vrow.e_diss[nn], seg, seg_ends)
+                nl = n_losers[grp]
+                pre_losers = nl.astype(np.float64) * r0
+                # Reference booking folds to one elementwise sum per
+                # component: (0.0 + losers) + accepted == losers + accepted.
+                pre_tot = (pre_losers + e_pre).tolist()
+                diss_tot = (diss_tab[nl] + e_diss).tolist()
+                sl_l = sl_e[grp].tolist()
+                nm_l = n_match[grp].tolist()
+                for i, q in enumerate(grp.tolist()):
+                    ledger = EnergyLedger._from_booked({
+                        _SL: sl_l[i],
+                        _PRE: pre_tot[i],
+                        _DISS: diss_tot[i],
+                        _SA: e_sa,
+                        _ENC: enc_e,
+                        _LEAK: leak,
+                    })
+                    mask = np.zeros(rows, dtype=bool)
+                    mask[valid_idx[within[q]]] = True
+                    outcomes[q] = ThresholdMatchOutcome(
+                        match_mask=mask,
+                        first_match=self.encoder.encode(mask),
+                        n_matches=nm_l[i],
+                        max_distance=max_distance,
+                        energy=ledger,
+                        search_delay=delay,
+                    )
+            if sp is not None:
+                sp.annotate(fallback_keys=int(np.count_nonzero(~in_grid)))
+            return outcomes
+
+    def _topk_match_batch_kernel(
+        self, packed: np.ndarray, soa, k: int
+    ) -> list[TopKMatchOutcome]:
+        """Kernel tail of :meth:`_topk_match_batch_impl`.
+
+        Selection runs on a composite ``miss * n_valid + position`` key,
+        which reproduces the reference's stable-sort tie-breaking
+        (ascending distance, then row index) under ``argpartition``.
+        """
+        from ..kernels import sequential_segment_sum
+
+        eng = self._kernel
+        n_keys = packed.shape[0]
+        with obs.span("array.distance_kernel", mode="topk", n_keys=n_keys) as sp:
+            (miss_all, driven_all, toggles, e_toggle, sl_e, valid_idx, v_pre) = (
+                self._distance_kernel_prologue(packed, soa)
+            )
+            outcomes: list[TopKMatchOutcome | None] = [None] * n_keys
+            if valid_idx.size == 0:
+                for q in range(n_keys):
+                    ledger = EnergyLedger()
+                    ledger.add(EnergyComponent.SEARCHLINE, float(sl_e[q]))
+                    outcomes[q] = TopKMatchOutcome((), (), k, ledger, self.sl_settle_delay)
+                return outcomes
+
+            n_valid = int(valid_idx.size)
+            miss_v = miss_all[:, valid_idx]
+            comp = miss_v * np.int64(n_valid) + np.arange(n_valid, dtype=np.int64)
+            n_take = min(k, n_valid)
+            if n_take < n_valid:
+                part = np.argpartition(comp, n_take - 1, axis=1)[:, :n_take]
+                comp_sel = np.take_along_axis(comp, part, axis=1)
+                order = np.argsort(comp_sel, axis=1)
+                sel_j = np.take_along_axis(part, order, axis=1)
+            else:
+                sel_j = np.argsort(comp, axis=1)
+            sel_rows = valid_idx[sel_j]
+            sel_dist = np.take_along_axis(miss_v, sel_j, axis=1)
+            d_k = sel_dist[:, -1]
+            n_losers = np.count_nonzero(miss_v > d_k[:, np.newaxis], axis=1)
+            counts_valid = self._valid_class_counts(miss_v)
+
+            r0 = self.estimator.ml_precharge_energy(0.0, 1)
+            e_sa = self.estimator.sense_idle_energy(n_valid)
+            enc_e = self.estimator.encode_energy()
+            enc_delay = self.encoder.delay
+            sl_delay = self.sl_settle_delay
+            k_leak = self.standby_power()
+            diss_tab = self._diss0_table(n_valid)
+
+            in_grid = driven_all <= eng.max_driven
+            for q in np.flatnonzero(~in_grid):
+                q = int(q)
+                outcomes[q] = self._topk_key(
+                    miss_all[q], int(driven_all[q]), int(toggles[q]), e_toggle,
+                    v_pre, valid_idx, k,
+                )
+                eng.rk4_fallbacks += 1
+
+            idx = np.flatnonzero(in_grid)
+            n_classes = self.geometry.cols + 1
+            class_grid = np.arange(n_classes)
+            for d in np.unique(driven_all[idx]):
+                d = int(d)
+                grp = idx[driven_all[idx] == d]
+                wrow = eng.window_row(d)
+                vrow = eng.row(d)
+                eng.table_hits += int(grp.size)
+                dk = d_k[grp]
+                ru = dk + 1
+                t_window = np.where(ru <= d, wrow[np.minimum(ru, d)], self.t_eval)
+                delays = (sl_delay + t_window) + float(n_take) * enc_delay
+                leak = k_leak * delays
+                # Surviving classes: miss <= d_k, zeroed out per key.
+                cv = counts_valid[grp] * (class_grid[np.newaxis, :] <= dk[:, np.newaxis])
+                cv = cv[:, : d + 1]
+                kk, nn = np.nonzero(cv)
+                cnt = cv[kk, nn].astype(np.float64)
+                bounds = np.searchsorted(kk, np.arange(grp.size + 1))
+                seg, seg_ends = bounds[:-1], bounds[1:]
+                e_pre = sequential_segment_sum(cnt * vrow.e_restore[nn], seg, seg_ends)
+                e_diss = sequential_segment_sum(cnt * vrow.e_diss[nn], seg, seg_ends)
+                nl = n_losers[grp]
+                pre_losers = nl.astype(np.float64) * r0
+                enc_total = float(n_take) * enc_e
+                # Component totals folded as in the nearest kernel.
+                pre_tot = (pre_losers + e_pre).tolist()
+                diss_tot = (diss_tab[nl] + e_diss).tolist()
+                sl_l = sl_e[grp].tolist()
+                leak_l = leak.tolist()
+                delays_l = delays.tolist()
+                rows_l = sel_rows[grp].tolist()
+                dist_l = sel_dist[grp].tolist()
+                for i, q in enumerate(grp.tolist()):
+                    ledger = EnergyLedger._from_booked({
+                        _SL: sl_l[i],
+                        _PRE: pre_tot[i],
+                        _DISS: diss_tot[i],
+                        _SA: e_sa,
+                        _ENC: enc_total,
+                        _LEAK: leak_l[i],
+                    })
+                    outcomes[q] = TopKMatchOutcome(
+                        rows=tuple(rows_l[i]),
+                        distances=tuple(dist_l[i]),
+                        k=k,
+                        energy=ledger,
+                        search_delay=delays_l[i],
+                    )
+            if sp is not None:
+                sp.annotate(fallback_keys=int(np.count_nonzero(~in_grid)))
+            return outcomes
 
     # ------------------------------------------------------------------
     # Static characterization helpers (used by benches and analyses)

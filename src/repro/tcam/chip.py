@@ -185,6 +185,39 @@ class TCAMChip:
             ledger.merge(self.write(row, word))
         return ledger
 
+    def load_rows(self, words: list[TernaryWord], start_row: int = 0) -> EnergyLedger:
+        """Bulk-fill chip rows row-major with one wake + one flush per bank.
+
+        Ledger-identical to a :meth:`write` loop over the same rows, but
+        each touched bank wakes once and takes its whole block through
+        the bank's bulk path (:meth:`TCAMArray.load_rows`: one trajectory
+        -cache flush and one content-version bump per bank instead of
+        one per row) -- the corpus-load path for the retrieval workload.
+        Banks without a bulk path fall back to per-row writes.
+        """
+        if start_row + len(words) > self.rows_total:
+            raise CapacityError(
+                f"{len(words)} words at row {start_row} do not fit in "
+                f"{self.rows_total} chip rows"
+            )
+        ledger = EnergyLedger()
+        rows = self.geometry.rows
+        pos = 0
+        while pos < len(words):
+            bank_idx, local_row = divmod(start_row + pos, rows)
+            n_block = min(rows - local_row, len(words) - pos)
+            block = words[pos : pos + n_block]
+            self._wake(bank_idx, ledger)
+            bank = self.banks[bank_idx]
+            bulk = getattr(bank, "load_rows", None)
+            if bulk is not None:
+                ledger.merge(bulk(block, start_row=local_row))
+            else:
+                for offset, word in enumerate(block):
+                    ledger.merge(bank.write(local_row + offset, word).energy)
+            pos += n_block
+        return ledger
+
     def attach_faults(self, faults: FaultMap | None) -> None:
         """Attach a chip-global defect map (``rows_total x cols``).
 

@@ -1,4 +1,5 @@
-"""Workload generators: random patterns, IP routing, ACLs, HDC memory."""
+"""Workload generators: random patterns, IP routing, ACLs, HDC memory,
+corpus-scale associative retrieval."""
 
 from .patterns import PatternStream, biased_key_stream, random_table
 from .iproute import Route, RoutingTable, synthetic_routing_table
@@ -10,6 +11,16 @@ from .signatures import (
     SignatureSet,
     plant_signatures,
     synthetic_signatures,
+)
+from .retrieval import (
+    CorpusConfig,
+    QueryStats,
+    RetrievalIndex,
+    exact_topk,
+    make_queries,
+    recall_at_k,
+    run_retrieval,
+    synthetic_corpus,
 )
 
 __all__ = [
@@ -30,4 +41,12 @@ __all__ = [
     "ScanHit",
     "synthetic_signatures",
     "plant_signatures",
+    "CorpusConfig",
+    "QueryStats",
+    "RetrievalIndex",
+    "synthetic_corpus",
+    "make_queries",
+    "exact_topk",
+    "recall_at_k",
+    "run_retrieval",
 ]
