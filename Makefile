@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-kernels bench-parallel bench-faults bench-service bench-dse bench-retrieval report examples clean
+.PHONY: install test bench bench-kernels bench-parallel bench-faults bench-service bench-dse bench-retrieval bench-cluster report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -30,6 +30,9 @@ bench-dse:
 
 bench-retrieval:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_retrieval.py --check
+
+bench-cluster:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_cluster.py --check
 
 report: bench
 	$(PYTHON) -m repro report --output-dir benchmarks/output --out REPORT.md

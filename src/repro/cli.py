@@ -63,6 +63,7 @@ TRACEABLE_COMMANDS = (
     "serve",
     "dse",
     "retrieval",
+    "cluster",
 )
 
 
@@ -616,6 +617,89 @@ def _cmd_retrieval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster import run_cluster_campaign
+    from .cluster.distributor import DISTRIBUTOR_POLICIES
+
+    chips = tuple(int(c) for c in args.chips.split(","))
+    policies = (
+        tuple(p for p in args.policy.split(","))
+        if args.policy
+        else DISTRIBUTOR_POLICIES
+    )
+    unknown = [p for p in policies if p not in DISTRIBUTOR_POLICIES]
+    if unknown:
+        print(
+            f"error: unknown policy {', '.join(unknown)}; "
+            f"expected a comma list from {', '.join(DISTRIBUTOR_POLICIES)}"
+        )
+        return 2
+    record = run_cluster_campaign(
+        design=args.design,
+        n_rules=args.rules,
+        cols=args.cols,
+        banks_per_chip=args.banks,
+        spare_rows=args.spares,
+        chip_counts=chips,
+        policies=policies,
+        topology=args.topology,
+        n_requests=args.requests,
+        rate_factor=args.rate_factor,
+        process=args.process,
+        churn_updates=args.churn,
+        wear_density=args.wear_density,
+        seed=args.seed,
+        workers=args.workers,
+        use_kernel=args.kernel,
+    )
+    if args.json:
+        _emit_json({"command": "cluster", **record})
+        return 0
+    cfg = record["config"]
+    print(
+        f"rule table      : {cfg['n_rules']} rules x {cfg['cols']} cols, "
+        f"design {cfg['design']}"
+    )
+    print(
+        f"fabric          : {cfg['topology']} interconnect, "
+        f"{cfg['banks_per_chip']} bank(s)/chip, {cfg['spare_rows']} spare rows"
+    )
+    print(
+        f"workload        : {cfg['n_requests']} {cfg['process']} requests, "
+        f"{cfg['churn_updates']} churn updates, wear density "
+        f"{cfg['wear_density']}"
+    )
+    table = Table(
+        title="Cluster scaling frontier",
+        columns=[
+            "policy", "chips", "throughput", "p99", "E/query",
+            "link %", "probes/q", "E/update", "yield",
+        ],
+    )
+    for p in record["points"]:
+        table.add_row(
+            p["policy"],
+            p["n_chips"],
+            f"{p['throughput']:.3g}/s",
+            eng(p["latency_p99"], "s"),
+            eng(p["energy_per_query"], "J"),
+            f"{100 * p['link_fraction']:.1f}",
+            f"{p['probes_per_query']:.2f}",
+            eng(p["churn"]["energy_per_op"], "J"),
+            f"{p['availability']:.3f}",
+        )
+    print()
+    print(table)
+    bad = [
+        p for p in record["points"]
+        if not (p["conserved"] and p["churn_integrity"])
+    ]
+    if bad:
+        print(f"WARNING: {len(bad)} point(s) broke conservation/integrity")
+        return 1
+    return 0
+
+
 def _split_trace_out(rest: list[str]) -> tuple[str | None, list[str]]:
     """Pull ``--trace-out PATH`` out of a REMAINDER argument list.
 
@@ -974,6 +1058,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the scalar reference path instead of the distance kernel",
     )
     retrieval.set_defaults(func=_cmd_retrieval, kernel=True)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded multi-chip fabric scaling campaign",
+        parents=[
+            _design_flags("fefet2t"),
+            _seed_flags(),
+            _engine_flags("the shard fan-out"),
+            _json_flags("a table"),
+        ],
+    )
+    cluster.add_argument(
+        "--chips", default="1,2,4,8", help="comma-separated chip counts"
+    )
+    cluster.add_argument(
+        "--policy",
+        default=None,
+        help="comma-separated distributor policies (default: all three)",
+    )
+    cluster.add_argument(
+        "--topology", choices=["p2p", "bus"], default="p2p",
+        help="interconnect topology",
+    )
+    cluster.add_argument("--rules", type=int, default=256, help="rule-table size")
+    cluster.add_argument("--cols", type=int, default=32, help="rule width")
+    cluster.add_argument("--banks", type=int, default=1, help="banks per chip")
+    cluster.add_argument(
+        "--spares", type=int, default=2, help="spare rows per bank"
+    )
+    cluster.add_argument(
+        "--requests", type=int, default=400, help="serving-trace length"
+    )
+    cluster.add_argument(
+        "--rate-factor", type=float, default=3.0,
+        help="offered rate as a multiple of estimated capacity",
+    )
+    cluster.add_argument(
+        "--process", choices=["poisson", "mmpp", "diurnal"], default="poisson",
+        help="arrival process shape",
+    )
+    cluster.add_argument(
+        "--churn", type=int, default=120, help="BGP-style update count"
+    )
+    cluster.add_argument(
+        "--wear-density", type=float, default=0.02,
+        help="fault density of the post-churn aging pass",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     trace = sub.add_parser(
         "trace", help="run any subcommand under the observability layer"

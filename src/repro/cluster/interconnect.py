@@ -1,0 +1,179 @@
+"""Link energy/latency model for the multi-chip fabric.
+
+Moving a query to a shard and the verdict back is not free at
+datacenter scale -- the paper's per-search match-line energies are
+femtojoules while an on-package link burns order 0.1 pJ/bit, so the
+interconnect dominates the bill long before 64 chips.  This module
+prices that movement and books it into the same
+:class:`~repro.energy.accounting.EnergyLedger` machinery as the cell
+physics, under two new free-form components:
+
+* :data:`LINK_COMPONENT` (``"link"``) -- serialization + wire energy
+  for query and result flits, and
+* :data:`DISTRIBUTION_COMPONENT` (``"distribution"``) -- the
+  distributor's routing decision per query.
+
+Two topologies (:data:`TOPOLOGIES`):
+
+``p2p``
+    A star of dedicated links, one per chip.  Probes of distinct
+    shards overlap perfectly, so batch latency is one hop and the
+    medium is occupied for one transfer regardless of fan-out.
+
+``bus``
+    One shared medium.  Transfers serialize: latency and occupancy
+    grow linearly with the number of shards probed.
+
+Energy is topology-independent (every bit still crosses a wire once);
+only the time axis differs.  That separation is what the scaling
+campaign charts: hash placement on a bus collapses first, point-to-
+point merely pays energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy.accounting import EnergyLedger
+from ..errors import ClusterError
+
+#: Ledger component for query/result movement on the fabric links.
+LINK_COMPONENT = "link"
+#: Ledger component for the distributor's per-query routing work.
+DISTRIBUTION_COMPONENT = "distribution"
+
+#: Topology names accepted by :class:`Interconnect`.
+TOPOLOGIES = ("p2p", "bus")
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Electrical parameters of one fabric link.
+
+    Defaults are loose on-package SerDes numbers -- coarse, but in the
+    regime where link energy per query is within a couple orders of
+    magnitude of array search energy, which is the trade the campaign
+    exists to expose.
+
+    Args:
+        e_per_bit: Wire + serialization energy [J/bit].
+        t_hop: Per-hop propagation and switching latency [s].
+        bit_rate: Link serialization rate [bit/s].
+        e_route: Distributor routing energy per query per probed shard [J].
+    """
+
+    e_per_bit: float = 0.08e-12
+    t_hop: float = 4e-9
+    bit_rate: float = 16e9
+    e_route: float = 0.5e-12
+
+    def __post_init__(self) -> None:
+        if self.e_per_bit < 0.0 or self.e_route < 0.0:
+            raise ClusterError("link energies must be non-negative")
+        if self.t_hop < 0.0:
+            raise ClusterError(f"t_hop must be non-negative, got {self.t_hop}")
+        if self.bit_rate <= 0.0:
+            raise ClusterError(f"bit_rate must be positive, got {self.bit_rate}")
+
+
+@dataclass(frozen=True)
+class TransferCost:
+    """Cost of moving one query to ``n_probes`` shards and back.
+
+    Attributes:
+        energy: Link energy [J] (booked under :data:`LINK_COMPONENT`).
+        routing_energy: Distributor energy [J] (under
+            :data:`DISTRIBUTION_COMPONENT`).
+        latency: Added key-to-result delay [s].
+        occupancy: Time the medium is busy [s] -- the serving-rate
+            limit of the fabric ingress, distinct from latency on a
+            star topology.
+    """
+
+    energy: float
+    routing_energy: float
+    latency: float
+    occupancy: float
+
+
+class Interconnect:
+    """Prices query/result movement between the distributor and shards.
+
+    Args:
+        topology: ``"p2p"`` or ``"bus"``.
+        link: Electrical link model.
+        key_bits: Bits per query flit.  A ternary column needs two
+            bits, so callers pass ``2 * cols``.
+        result_bits: Bits per verdict flit (matched rule id + metadata).
+    """
+
+    def __init__(
+        self,
+        topology: str = "p2p",
+        link: LinkModel | None = None,
+        *,
+        key_bits: int,
+        result_bits: int = 64,
+    ) -> None:
+        if topology not in TOPOLOGIES:
+            raise ClusterError(
+                f"unknown topology {topology!r}; expected one of {TOPOLOGIES}"
+            )
+        if key_bits < 1 or result_bits < 1:
+            raise ClusterError("key_bits and result_bits must be >= 1")
+        self.topology = topology
+        self.link = link if link is not None else LinkModel()
+        self.key_bits = int(key_bits)
+        self.result_bits = int(result_bits)
+
+    def transfer_time(self) -> float:
+        bits = self.key_bits + self.result_bits
+        return 2.0 * self.link.t_hop + bits / self.link.bit_rate
+
+    def query_cost(self, n_probes: int) -> TransferCost:
+        """Cost of fanning one query out to ``n_probes`` shards."""
+        if n_probes < 0:
+            raise ClusterError(f"n_probes must be >= 0, got {n_probes}")
+        if n_probes == 0:
+            return TransferCost(0.0, self.link.e_route, 0.0, 0.0)
+        bits = self.key_bits + self.result_bits
+        energy = n_probes * bits * self.link.e_per_bit
+        routing = n_probes * self.link.e_route
+        per_shard = self.transfer_time()
+        if self.topology == "p2p":
+            latency = occupancy = per_shard
+        else:  # bus: transfers serialize on the shared medium
+            latency = occupancy = n_probes * per_shard
+        return TransferCost(energy, routing, latency, occupancy)
+
+    def update_cost(self, n_replicas: int) -> TransferCost:
+        """Cost of shipping one rule add/withdraw to its replica shards.
+
+        Updates push a rule flit out but need only a short ack back, so
+        the flit is ``key_bits`` wide each way is overkill -- the ack
+        rides in ``result_bits``.  Updates always serialize (they
+        mutate shard state in a defined order), so latency equals
+        occupancy on both topologies.
+        """
+        if n_replicas < 0:
+            raise ClusterError(f"n_replicas must be >= 0, got {n_replicas}")
+        bits = self.key_bits + self.result_bits
+        energy = n_replicas * bits * self.link.e_per_bit
+        t = n_replicas * self.transfer_time()
+        return TransferCost(energy, self.link.e_route, t, t)
+
+    def book(self, ledger: EnergyLedger, cost: TransferCost) -> None:
+        """Add a transfer's energy to ``ledger`` under the fabric components."""
+        ledger.add(LINK_COMPONENT, cost.energy)
+        ledger.add(DISTRIBUTION_COMPONENT, cost.routing_energy)
+
+    def describe(self) -> dict:
+        return {
+            "topology": self.topology,
+            "key_bits": self.key_bits,
+            "result_bits": self.result_bits,
+            "e_per_bit": self.link.e_per_bit,
+            "t_hop": self.link.t_hop,
+            "bit_rate": self.link.bit_rate,
+            "e_route": self.link.e_route,
+        }

@@ -56,3 +56,8 @@ class KernelError(ReproError):
 class ServeError(ReproError):
     """The serving layer was misconfigured or violated its conservation
     invariants (offered == completed + rejected)."""
+
+
+class ClusterError(ReproError):
+    """The multi-chip cluster fabric (distributor, interconnect or
+    update engine) was misconfigured or a shard invariant was broken."""

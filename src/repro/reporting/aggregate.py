@@ -24,6 +24,23 @@ _ID_PATTERN = re.compile(r"^R-([FT])(\d+)")
 #: Artifact schema versions this build knows how to read.
 SUPPORTED_BENCH_SCHEMAS = (SCHEMA_VERSION,)
 
+#: Benchmark artifacts the repo is expected to carry at its root, with
+#: the schema version each is written at.  ``repro report`` validates
+#: whatever ``BENCH_*.json`` files it finds; this registry is the list
+#: of records the benchmark suite itself maintains, so a rename or a
+#: dropped artifact fails the reporting tests instead of silently
+#: thinning the report.
+KNOWN_BENCH_ARTIFACTS: dict[str, int] = {
+    "BENCH_cluster.json": 1,
+    "BENCH_dse.json": 1,
+    "BENCH_faults.json": 1,
+    "BENCH_kernels.json": 1,
+    "BENCH_parallel.json": 1,
+    "BENCH_retrieval.json": 1,
+    "BENCH_search.json": 1,
+    "BENCH_service.json": 1,
+}
+
 
 def validate_bench_artifacts(
     bench_dir: str | pathlib.Path = ".",

@@ -1,0 +1,1 @@
+"""Tests for the sharded multi-chip cluster fabric."""

@@ -1,0 +1,188 @@
+"""Placement/routing correctness of the distributor policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    DISTRIBUTOR_POLICIES,
+    HashDistributor,
+    RangeDistributor,
+    ReplicatedHotDistributor,
+    RuleTable,
+    get_distributor,
+    rule_fingerprint,
+    ternary_matches,
+)
+from repro.errors import ClusterError
+from repro.tcam.trit import TernaryWord, Trit, prefix_word, random_word
+
+
+def _table(rng, n=24, cols=16, x_fraction=0.3):
+    return RuleTable(
+        tuple(random_word(cols, rng, x_fraction=x_fraction) for _ in range(n))
+    )
+
+
+def _prefix_table(rng, n=24, cols=16, min_prefix=2):
+    words = []
+    for _ in range(n):
+        plen = int(rng.integers(min_prefix, cols + 1))
+        words.append(prefix_word(int(rng.integers(1 << 16)), plen, cols))
+    return RuleTable(tuple(words))
+
+
+class TestRuleTable:
+    def test_empty_rejected(self):
+        with pytest.raises(ClusterError, match="at least one rule"):
+            RuleTable(())
+
+    def test_mixed_width_rejected(self, rng):
+        with pytest.raises(ClusterError, match="width"):
+            RuleTable((random_word(8, rng), random_word(9, rng)))
+
+    def test_indexing_and_width(self, rng):
+        table = _table(rng, n=5, cols=12)
+        assert len(table) == 5
+        assert table.width == 12
+        assert table[3] is table.rules[3]
+
+
+class TestFingerprint:
+    def test_deterministic_and_content_addressed(self, rng):
+        w = random_word(16, rng)
+        clone = TernaryWord(list(w))
+        assert rule_fingerprint(w) == rule_fingerprint(clone)
+
+    def test_distinct_words_usually_differ(self, rng):
+        words = [random_word(24, rng) for _ in range(64)]
+        assert len({rule_fingerprint(w) for w in words}) > 60
+
+
+class TestHashPolicy:
+    def test_every_rule_exactly_one_shard(self, rng):
+        table = _table(rng)
+        placement = HashDistributor().place(table, 4)
+        assert all(len(r) == 1 for r in placement.replicas)
+        assert sorted(
+            g for shard in placement.shard_rules for g in shard
+        ) == list(range(len(table)))
+        assert placement.replication_factor() == 1.0
+
+    def test_probe_is_broadcast(self, rng):
+        table = _table(rng)
+        placement = HashDistributor().place(table, 4)
+        key = random_word(16, rng)
+        assert HashDistributor().probe_shards(key, placement) == (0, 1, 2, 3)
+
+    def test_placement_is_stable(self, rng):
+        table = _table(rng)
+        a = HashDistributor().place(table, 8)
+        b = HashDistributor().place(table, 8)
+        assert a.shard_rules == b.shard_rules
+
+    def test_shard_rules_ascending(self, rng):
+        placement = HashDistributor().place(_table(rng, n=48), 4)
+        for shard in placement.shard_rules:
+            assert list(shard) == sorted(shard)
+
+
+class TestRangePolicy:
+    def test_default_route_bits_addresses_all_shards(self, rng):
+        table = _table(rng)
+        placement = RangeDistributor().place(table, 8)
+        assert placement.route_bits == 3
+
+    def test_replication_covers_every_match(self, rng):
+        """Fuzz the load-bearing invariant: any rule matching a key is
+        stored on a shard that key probes."""
+        dist = RangeDistributor()
+        table = _prefix_table(rng, n=40, cols=16)
+        for n_shards in (1, 3, 4, 7):
+            placement = dist.place(table, n_shards)
+            for _ in range(60):
+                key = random_word(16, rng, x_fraction=0.1)
+                probed = set(dist.probe_shards(key, placement))
+                for gid, rule in enumerate(table.rules):
+                    if ternary_matches(rule, key):
+                        assert probed & set(placement.replicas[gid]), (
+                            f"rule {gid} matches but lives on an unprobed shard"
+                        )
+
+    def test_fully_specified_key_probes_one_shard(self, rng):
+        dist = RangeDistributor()
+        placement = dist.place(_prefix_table(rng), 8)
+        key = random_word(16, rng, x_fraction=0.0)
+        assert len(dist.probe_shards(key, placement)) == 1
+
+    def test_all_x_rule_replicated_everywhere(self, rng):
+        dist = RangeDistributor()
+        table = RuleTable(
+            (TernaryWord([Trit.X] * 16),) + _table(rng, n=3).rules
+        )
+        placement = dist.place(table, 4)
+        assert placement.replicas[0] == (0, 1, 2, 3)
+
+    def test_route_bits_out_of_range_rejected(self, rng):
+        with pytest.raises(ClusterError, match="route_bits"):
+            RangeDistributor(route_bits=20).place(_table(rng, cols=16), 2)
+
+
+class TestReplicatedPolicy:
+    def test_hot_prefix_everywhere_tail_once(self, rng):
+        table = _table(rng, n=32)
+        dist = ReplicatedHotDistributor(hot_count=4)
+        placement = dist.place(table, 4)
+        assert placement.hot_count == 4
+        for gid, replicas in enumerate(placement.replicas):
+            if gid < 4:
+                assert replicas == (0, 1, 2, 3)
+            else:
+                assert len(replicas) == 1
+
+    def test_single_probe_then_fallback_semantics(self, rng):
+        table = _table(rng, n=32)
+        dist = ReplicatedHotDistributor(hot_count=4)
+        placement = dist.place(table, 4)
+        key = random_word(16, rng)
+        assert len(dist.probe_shards(key, placement)) == 1
+        # A hot winner is final; a tail winner or a miss needs broadcast.
+        assert not dist.needs_fallback(2, placement)
+        assert dist.needs_fallback(7, placement)
+        assert dist.needs_fallback(None, placement)
+
+    def test_no_fallback_on_single_shard(self, rng):
+        dist = ReplicatedHotDistributor(hot_count=2)
+        placement = dist.place(_table(rng), 1)
+        assert not dist.needs_fallback(None, placement)
+
+    def test_hot_fraction_validation(self):
+        with pytest.raises(ClusterError, match="hot_fraction"):
+            ReplicatedHotDistributor(hot_fraction=1.5)
+        with pytest.raises(ClusterError, match="hot_count"):
+            ReplicatedHotDistributor(hot_count=-1)
+
+    def test_hot_count_capped_at_table(self, rng):
+        placement = ReplicatedHotDistributor(hot_count=999).place(
+            _table(rng, n=6), 3
+        )
+        assert placement.hot_count == 6
+        assert placement.replication_factor() == 3.0
+
+
+class TestRegistry:
+    def test_all_policies_constructible(self):
+        for name in DISTRIBUTOR_POLICIES:
+            assert get_distributor(name).name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ClusterError, match="unknown distributor policy"):
+            get_distributor("round-robin")
+
+    def test_kwargs_forwarded(self):
+        dist = get_distributor("range", route_bits=5)
+        assert dist.route_bits == 5
+
+    def test_invalid_shard_count_rejected(self, rng):
+        with pytest.raises(ClusterError, match="n_shards"):
+            HashDistributor().place(_table(rng), 0)

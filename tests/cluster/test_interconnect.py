@@ -1,0 +1,99 @@
+"""Link-model pricing and ledger booking for the fabric interconnect."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Interconnect, LinkModel
+from repro.cluster.interconnect import DISTRIBUTION_COMPONENT, LINK_COMPONENT
+from repro.energy.accounting import EnergyLedger
+from repro.errors import ClusterError
+
+
+def _ic(topology="p2p", **kw):
+    return Interconnect(topology, key_bits=64, result_bits=64, **kw)
+
+
+class TestValidation:
+    def test_unknown_topology(self):
+        with pytest.raises(ClusterError, match="topology"):
+            _ic("torus")
+
+    def test_bad_bit_widths(self):
+        with pytest.raises(ClusterError, match="key_bits"):
+            Interconnect("p2p", key_bits=0)
+
+    def test_link_model_validation(self):
+        with pytest.raises(ClusterError, match="non-negative"):
+            LinkModel(e_per_bit=-1.0)
+        with pytest.raises(ClusterError, match="t_hop"):
+            LinkModel(t_hop=-1e-9)
+        with pytest.raises(ClusterError, match="bit_rate"):
+            LinkModel(bit_rate=0.0)
+
+    def test_negative_probe_count(self):
+        with pytest.raises(ClusterError, match="n_probes"):
+            _ic().query_cost(-1)
+
+
+class TestQueryCost:
+    def test_energy_linear_in_probes(self):
+        ic = _ic()
+        c1, c4 = ic.query_cost(1), ic.query_cost(4)
+        assert c4.energy == pytest.approx(4 * c1.energy)
+        assert c4.routing_energy == pytest.approx(4 * c1.routing_energy)
+
+    def test_energy_topology_independent(self):
+        assert _ic("p2p").query_cost(4).energy == _ic("bus").query_cost(4).energy
+
+    def test_p2p_latency_flat_bus_serializes(self):
+        p2p, bus = _ic("p2p"), _ic("bus")
+        assert p2p.query_cost(4).latency == p2p.query_cost(1).latency
+        assert bus.query_cost(4).latency == pytest.approx(
+            4 * bus.query_cost(1).latency
+        )
+        assert bus.query_cost(4).occupancy == pytest.approx(
+            4 * p2p.query_cost(1).occupancy
+        )
+
+    def test_zero_probes_costs_only_routing(self):
+        cost = _ic().query_cost(0)
+        assert cost.energy == 0.0
+        assert cost.latency == 0.0
+        assert cost.routing_energy > 0.0
+
+    def test_transfer_time_components(self):
+        link = LinkModel(t_hop=5e-9, bit_rate=10e9)
+        ic = Interconnect("p2p", link, key_bits=50, result_bits=50)
+        assert ic.transfer_time() == pytest.approx(2 * 5e-9 + 100 / 10e9)
+
+
+class TestUpdateCost:
+    def test_updates_always_serialize(self):
+        for topo in ("p2p", "bus"):
+            ic = _ic(topo)
+            c = ic.update_cost(3)
+            assert c.latency == pytest.approx(3 * ic.transfer_time())
+            assert c.occupancy == c.latency
+
+    def test_negative_replicas_rejected(self):
+        with pytest.raises(ClusterError, match="n_replicas"):
+            _ic().update_cost(-2)
+
+
+class TestBooking:
+    def test_components_land_in_ledger(self):
+        ic = _ic()
+        ledger = EnergyLedger()
+        cost = ic.query_cost(3)
+        ic.book(ledger, cost)
+        assert ledger.get(LINK_COMPONENT) == cost.energy
+        assert ledger.get(DISTRIBUTION_COMPONENT) == cost.routing_energy
+        assert ledger.total == pytest.approx(cost.energy + cost.routing_energy)
+
+    def test_describe_round_trips_parameters(self):
+        link = LinkModel(e_per_bit=1e-13)
+        d = Interconnect("bus", link, key_bits=32).describe()
+        assert d["topology"] == "bus"
+        assert d["e_per_bit"] == 1e-13
+        assert d["key_bits"] == 32

@@ -8,6 +8,7 @@ import pytest
 
 from repro.errors import ReproError
 from repro.reporting.aggregate import (
+    KNOWN_BENCH_ARTIFACTS,
     SUPPORTED_BENCH_SCHEMAS,
     validate_bench_artifacts,
 )
@@ -66,3 +67,25 @@ class TestValidateBenchArtifacts:
         repo_root = pathlib.Path(__file__).resolve().parents[2]
         checked = validate_bench_artifacts(repo_root)
         assert len(checked) >= 5
+
+    def test_registry_matches_checked_in_artifacts(self):
+        """Every registered artifact exists at the repo root, and vice versa."""
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        present = {p.name for p in validate_bench_artifacts(repo_root)}
+        assert present == set(KNOWN_BENCH_ARTIFACTS)
+
+    def test_registry_versions_supported(self):
+        assert "BENCH_cluster.json" in KNOWN_BENCH_ARTIFACTS
+        for name, version in KNOWN_BENCH_ARTIFACTS.items():
+            assert version in SUPPORTED_BENCH_SCHEMAS, name
+
+    def test_registry_artifact_versions_match_records(self):
+        """Each checked-in record's schema_version equals its registry entry."""
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        for name, version in KNOWN_BENCH_ARTIFACTS.items():
+            record = json.loads((repo_root / name).read_text())
+            assert record["schema_version"] == version, name

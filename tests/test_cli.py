@@ -281,3 +281,44 @@ class TestFaults:
         plain = json.loads(capsys.readouterr().out)
         assert main(self._SMALL + ["--json", "--kernel"]) == 0
         assert plain == json.loads(capsys.readouterr().out)
+
+
+class TestCluster:
+    _SMALL = ["cluster", "--chips", "1,2", "--policy", "range",
+              "--rules", "24", "--cols", "16", "--requests", "60",
+              "--churn", "16"]
+
+    def test_table_mode(self, capsys):
+        assert main(self._SMALL) == 0
+        out = capsys.readouterr().out
+        assert "Cluster scaling" in out
+        assert "range" in out
+
+    def test_json_carries_frontier(self, capsys):
+        assert main(self._SMALL + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "cluster"
+        assert payload["schema_version"] == 1
+        assert payload["config"]["chip_counts"] == [1, 2]
+        assert len(payload["points"]) == 2
+        for point in payload["points"]:
+            assert point["conserved"]
+            assert point["churn_integrity"]
+            assert point["throughput"] > 0.0
+
+    def test_workers_flag_bit_identical(self, capsys):
+        assert main(self._SMALL + ["--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(self._SMALL + ["--json", "--workers", "2"]) == 0
+        assert serial == json.loads(capsys.readouterr().out)
+
+    def test_traceable(self, capsys):
+        from repro import obs
+
+        assert main(["trace"] + self._SMALL) == 0
+        assert not obs.is_enabled()
+        assert "cluster.search_batch" in capsys.readouterr().out
+
+    def test_bad_policy_rejected(self, capsys):
+        assert main(["cluster", "--chips", "1", "--policy", "nope",
+                     "--rules", "8", "--cols", "12", "--requests", "10"]) != 0
